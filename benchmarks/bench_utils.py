@@ -1,0 +1,10 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments already iterate over whole query suites, so a single
+    timed round is representative and keeps the full benchmark run short.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

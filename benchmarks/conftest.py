@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's tables and figures on the synthetic
+LDBC-like datasets.  Graph generation and GLogue statistics collection are
+session fixtures so that each figure's benchmark measures plan quality, not
+setup cost.  Every benchmark prints its result table, so the captured output
+(``pytest benchmarks/ --benchmark-only | tee bench_output.txt``) contains the
+reproduced figures.
+"""
+
+import pytest
+
+from repro.datasets import finance_graph, ldbc_snb_graph
+from repro.optimizer.glogue import Glogue
+
+
+@pytest.fixture(scope="session")
+def g30():
+    """The micro-benchmark dataset (paper: G30, Section 8.2)."""
+    graph = ldbc_snb_graph("G30")
+    return graph, Glogue.from_graph(graph)
+
+
+@pytest.fixture(scope="session")
+def g100():
+    """The comprehensive-experiment dataset (paper: G100, Section 8.3)."""
+    graph = ldbc_snb_graph("G100")
+    return graph, Glogue.from_graph(graph)
+
+
+@pytest.fixture(scope="session")
+def finance():
+    """The transfer graph for the s-t path case study (Section 8.5)."""
+    return finance_graph()
+
+

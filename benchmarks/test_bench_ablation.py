@@ -1,0 +1,20 @@
+"""Ablations of the plan-search design choices called out in DESIGN.md."""
+
+from repro.bench import experiments, format_table
+
+from bench_utils import run_once
+
+
+def test_bench_search_ablation(benchmark, g30):
+    graph, glogue = g30
+    rows = run_once(benchmark, experiments.search_ablation_experiment, graph, glogue=glogue)
+    print()
+    print(format_table(rows, title="Ablation: plan-search variants (pruning, greedy bound, hybrid join)"))
+    by_key = {(row["query"], row["variant"]): row for row in rows}
+    for (query, variant), row in by_key.items():
+        if variant == "full":
+            exhaustive = by_key.get((query, "no-pruning"))
+            if exhaustive:
+                # pruning keeps plan quality while exploring no more states
+                assert row["plan_cost"] <= exhaustive["plan_cost"] * 1.001
+                assert row["states_explored"] <= exhaustive["states_explored"]

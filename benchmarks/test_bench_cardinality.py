@@ -1,0 +1,18 @@
+"""Fig. 8(d): high-order vs low-order statistics for QC1..4(a|b)."""
+
+from repro.bench import experiments, format_table
+from repro.bench.reporting import summarise_speedups
+
+from bench_utils import run_once
+
+
+def test_bench_cardinality_estimation(benchmark, g30):
+    graph, glogue = g30
+    rows = run_once(benchmark, experiments.cardinality_experiment, graph, glogue=glogue)
+    print()
+    print(format_table(rows, title="Fig. 8(d): plans from high-order vs low-order statistics"))
+    print("speedup summary:", summarise_speedups(rows, "low_order", "high_order"))
+    # high-order statistics should never lead to a dramatically worse plan
+    for row in rows:
+        if isinstance(row["high_order_work"], (int, float)) and isinstance(row["low_order_work"], (int, float)):
+            assert row["high_order_work"] <= row["low_order_work"] * 2.0

@@ -1,0 +1,31 @@
+"""Fig. 8(c): CBO plan quality for QC1..4(a|b) (GOpt vs GOpt-Neo vs random plans)."""
+
+from collections import defaultdict
+
+from repro.bench import experiments, format_table
+from repro.bench.reporting import OT, geometric_mean
+
+from bench_utils import run_once
+
+
+def test_bench_cbo_plan_quality(benchmark, g30):
+    graph, glogue = g30
+    rows = run_once(benchmark, experiments.cbo_experiment, graph,
+                    num_random_plans=5, glogue=glogue)
+    print()
+    print(format_table(rows, title="Fig. 8(c): CBO — GOpt-Plan vs GOpt-Neo-Plan vs random plans"))
+
+    by_query = defaultdict(dict)
+    for row in rows:
+        by_query[row["query"]][row["plan"]] = row
+    ratios = []
+    for query, plans in by_query.items():
+        gopt = plans["GOpt-Plan"]
+        random_work = [plans[name]["work"] for name in plans if name.startswith("Random")]
+        if isinstance(gopt["work"], (int, float)) and random_work:
+            average_random = sum(w for w in random_work if isinstance(w, (int, float))) / len(random_work)
+            if gopt["work"] > 0:
+                ratios.append(average_random / gopt["work"])
+    print("average-random / GOpt work ratio (geo mean): %.2f" % (geometric_mean(ratios) or 0.0))
+    # GOpt should beat the average random plan overall (paper: 117.8x)
+    assert geometric_mean(ratios) is not None and geometric_mean(ratios) > 1.0

@@ -1,0 +1,13 @@
+"""Table 3: the LDBC-like datasets (vertex/edge counts per scale factor)."""
+
+from repro.bench import experiments, format_table
+
+from bench_utils import run_once
+
+
+def test_bench_dataset_statistics(benchmark):
+    rows = run_once(benchmark, experiments.dataset_statistics)
+    print()
+    print(format_table(rows, title="Table 3: the LDBC-like datasets (scaled down for laptop execution)"))
+    sizes = {row["graph"]: row["edges"] for row in rows}
+    assert sizes["G30"] < sizes["G100"] < sizes["G300"] < sizes["G1000"]

@@ -1,0 +1,13 @@
+"""Table 1: capability matrix of the compared systems."""
+
+from repro.bench import experiments, format_table
+
+from bench_utils import run_once
+
+
+def test_bench_feature_matrix(benchmark):
+    rows = run_once(benchmark, experiments.feature_matrix)
+    print()
+    print(format_table(rows, title="Table 1: Limitations of existing graph databases (reproduced)"))
+    gopt = [r for r in rows if "GOpt" in r["database"]][0]
+    assert gopt["wco_join"] and gopt["high_order_stats"] and gopt["type_inference"]

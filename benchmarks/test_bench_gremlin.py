@@ -1,0 +1,21 @@
+"""Fig. 8(e): optimizing Gremlin queries — GOpt-plan vs GraphScope's GS-plan."""
+
+from repro.bench import experiments, format_table
+from repro.bench.reporting import summarise_speedups
+
+from bench_utils import run_once
+
+
+def test_bench_gremlin_queries(benchmark, g30):
+    graph, glogue = g30
+    rows = run_once(benchmark, experiments.gremlin_experiment, graph, glogue=glogue)
+    print()
+    print(format_table(rows, title="Fig. 8(e): Gremlin queries — GOpt-plan vs GS-plan on GraphScope"))
+    summary = summarise_speedups(rows, "gs_plan", "gopt_plan")
+    print("speedup summary:", summary)
+    wins = sum(1 for row in rows
+               if isinstance(row["gopt_plan_work"], (int, float))
+               and isinstance(row["gs_plan_work"], (int, float))
+               and row["gopt_plan_work"] <= row["gs_plan_work"] * 1.05)
+    # GOpt should win (or tie) on the clear majority of queries
+    assert wins >= len(rows) * 0.6

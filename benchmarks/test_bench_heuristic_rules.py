@@ -1,0 +1,21 @@
+"""Fig. 8(a): heuristic rules on/off for QR1..8 (GraphScope-like backend, G30)."""
+
+from repro.bench import experiments, format_table
+from repro.bench.reporting import summarise_speedups
+
+from bench_utils import run_once
+
+
+def test_bench_heuristic_rules(benchmark, g30):
+    graph, glogue = g30
+    rows = run_once(benchmark, experiments.heuristic_rules_experiment, graph, glogue=glogue)
+    print()
+    print(format_table(rows, title="Fig. 8(a): heuristic rules (runtime seconds, work = rows+edges+cells)"))
+    summary = summarise_speedups(rows, "without_opt", "with_opt")
+    print("speedup summary:", summary)
+    # the rules should never make a query slower in terms of work performed
+    regressions = [r for r in rows
+                   if isinstance(r["with_opt_work"], (int, float))
+                   and isinstance(r["without_opt_work"], (int, float))
+                   and r["with_opt_work"] > r["without_opt_work"] * 1.1]
+    assert len(regressions) <= 1

@@ -1,0 +1,23 @@
+"""Fig. 9(b): LDBC IC/BI — Neo4j-plan vs GOpt-plan executed on the GraphScope-like backend."""
+
+from repro.bench import experiments, format_table
+from repro.bench.reporting import summarise_speedups
+
+from bench_utils import run_once
+
+
+def test_bench_ldbc_on_graphscope(benchmark, g100):
+    graph, glogue = g100
+    rows = run_once(benchmark, experiments.ldbc_experiment, graph,
+                    backend_kind="graphscope", glogue=glogue)
+    print()
+    print(format_table(rows, title="Fig. 9(b): LDBC queries on the GraphScope-like backend (seconds)"))
+    summary = summarise_speedups(rows, "neo4j_plan", "gopt_plan")
+    print("speedup summary:", summary)
+    wins = sum(1 for row in rows
+               if (row["neo4j_plan"] == "OT" and row["gopt_plan"] != "OT")
+               or (isinstance(row["neo4j_plan_work"], (int, float))
+                   and isinstance(row["gopt_plan_work"], (int, float))
+                   and row["gopt_plan_work"] <= row["neo4j_plan_work"] * 1.05))
+    print("GOpt wins or ties on %d / %d queries" % (wins, len(rows)))
+    assert wins >= len(rows) * 0.5

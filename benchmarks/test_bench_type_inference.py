@@ -1,0 +1,17 @@
+"""Fig. 8(b): type inference on/off for QT1..5 (GraphScope-like backend, G30)."""
+
+from repro.bench import experiments, format_table
+from repro.bench.reporting import summarise_speedups
+
+from bench_utils import run_once
+
+
+def test_bench_type_inference(benchmark, g30):
+    graph, glogue = g30
+    rows = run_once(benchmark, experiments.type_inference_experiment, graph, glogue=glogue)
+    print()
+    print(format_table(rows, title="Fig. 8(b): type inference (runtime seconds)"))
+    print("speedup summary:", summarise_speedups(rows, "without_opt", "with_opt"))
+    # inference must never increase the executed work
+    for row in rows:
+        assert row["with_opt_work"] <= row["without_opt_work"] * 1.05

@@ -1,0 +1,14 @@
+"""Setup shim so editable installs work with the pre-PEP-660 toolchain available offline."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Modular Graph-Native Query Optimization Framework' (GOpt, SIGMOD 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,48 @@
+"""Reproduction of "A Modular Graph-Native Query Optimization Framework" (GOpt).
+
+The package implements, in pure Python, the full GOpt stack described in the
+paper (SIGMOD 2025 / arXiv 2401.17786):
+
+* :mod:`repro.graph` -- a typed property-graph substrate with schema support.
+* :mod:`repro.datasets` -- synthetic LDBC-SNB-like data generators.
+* :mod:`repro.gir` -- the unified Graph Intermediate Representation (GIR),
+  including pattern graphs, logical operators, and the ``GraphIrBuilder``.
+* :mod:`repro.lang` -- Cypher and Gremlin front-ends that lower queries to GIR.
+* :mod:`repro.optimizer` -- the graph-native optimizer: heuristic rules (RBO),
+  automatic type inference, GLogue high-order statistics, cardinality
+  estimation, registerable ``PhysicalSpec`` cost models, and the top-down
+  branch-and-bound plan search.
+* :mod:`repro.backend` -- two simulated execution backends standing in for
+  Neo4j (single machine) and GraphScope (partitioned dataflow).
+* :mod:`repro.workloads` -- the paper's query suites (IC, BI, QR, QT, QC, ST).
+* :mod:`repro.bench` -- the experiment harness regenerating every figure.
+
+Quickstart::
+
+    from repro import GOpt
+    from repro.datasets import social_commerce_graph
+
+    graph = social_commerce_graph()
+    gopt = GOpt.for_graph(graph, backend="graphscope")
+    result = gopt.execute_cypher(
+        "MATCH (p:Person)-[:Knows]->(f:Person) RETURN f.name LIMIT 5")
+"""
+
+from repro.api import GOpt, OptimizedQuery
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import GraphSchema
+from repro.graph.types import AllType, BasicType, Direction, UnionType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GOpt",
+    "OptimizedQuery",
+    "PropertyGraph",
+    "GraphSchema",
+    "BasicType",
+    "UnionType",
+    "AllType",
+    "Direction",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""Top-level facade: parse, optimize and execute CGPs in one object.
+
+:class:`GOpt` wires together the front-ends, the optimizer and a simulated
+backend so that library users (and the examples) can go from query text to
+results in two lines::
+
+    gopt = GOpt.for_graph(graph, backend="graphscope")
+    result = gopt.execute_cypher("MATCH (a:Person)-[:KNOWS]->(b) RETURN b LIMIT 5")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.backend import Backend, GraphScopeLikeBackend, Neo4jLikeBackend
+from repro.backend.base import ExecutionResult
+from repro.errors import GOptError
+from repro.gir.plan import LogicalPlan
+from repro.graph.property_graph import PropertyGraph
+from repro.lang.cypher import cypher_to_gir
+from repro.lang.gremlin import gremlin_to_gir
+from repro.optimizer.planner import GOptimizer, OptimizationReport, OptimizerConfig
+
+
+@dataclass
+class OptimizedQuery:
+    """The outcome of optimizing (and optionally executing) one query."""
+
+    report: OptimizationReport
+    result: Optional[ExecutionResult] = None
+
+    @property
+    def rows(self) -> List[dict]:
+        return self.result.rows if self.result is not None else []
+
+    @property
+    def timed_out(self) -> bool:
+        return bool(self.result is not None and self.result.timed_out)
+
+    def explain(self) -> str:
+        return self.report.explain()
+
+
+class GOpt:
+    """Facade bundling a data graph, an optimizer and an execution backend."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        backend: Union[str, Backend] = "graphscope",
+        config: Optional[OptimizerConfig] = None,
+        optimizer: Optional[GOptimizer] = None,
+        **backend_options,
+    ):
+        self.graph = graph
+        self.backend = self._make_backend(backend, graph, backend_options)
+        self.optimizer = optimizer or GOptimizer.for_graph(
+            graph, profile=self.backend.profile(), config=config
+        )
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def for_graph(
+        cls,
+        graph: PropertyGraph,
+        backend: Union[str, Backend] = "graphscope",
+        config: Optional[OptimizerConfig] = None,
+        **backend_options,
+    ) -> "GOpt":
+        return cls(graph, backend=backend, config=config, **backend_options)
+
+    @staticmethod
+    def _make_backend(backend, graph, options) -> Backend:
+        if isinstance(backend, Backend):
+            return backend
+        if backend == "neo4j":
+            return Neo4jLikeBackend(graph, **options)
+        if backend == "graphscope":
+            return GraphScopeLikeBackend(graph, **options)
+        raise GOptError("unknown backend %r (expected 'neo4j' or 'graphscope')" % (backend,))
+
+    # -- parsing ---------------------------------------------------------------------
+    def parse(
+        self,
+        query: str,
+        language: str = "cypher",
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> LogicalPlan:
+        """Parse query text in the given language into a GIR logical plan."""
+        if language == "cypher":
+            return cypher_to_gir(query, parameters)
+        if language == "gremlin":
+            return gremlin_to_gir(query)
+        raise GOptError("unsupported query language %r" % (language,))
+
+    # -- optimization / execution ----------------------------------------------------
+    def optimize(
+        self,
+        query: Union[str, LogicalPlan],
+        language: str = "cypher",
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> OptimizationReport:
+        """Optimize a query (text or logical plan) into a physical plan."""
+        plan = query if isinstance(query, LogicalPlan) else self.parse(query, language, parameters)
+        return self.optimizer.optimize(plan)
+
+    def execute(
+        self,
+        query: Union[str, LogicalPlan],
+        language: str = "cypher",
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> OptimizedQuery:
+        """Optimize and execute a query on the configured backend."""
+        report = self.optimize(query, language, parameters)
+        result = self.backend.execute(report.physical_plan)
+        return OptimizedQuery(report=report, result=result)
+
+    def execute_cypher(self, query: str, parameters: Optional[Dict[str, object]] = None) -> OptimizedQuery:
+        return self.execute(query, language="cypher", parameters=parameters)
+
+    def execute_gremlin(self, query: str) -> OptimizedQuery:
+        return self.execute(query, language="gremlin")
+
+    def explain(
+        self,
+        query: Union[str, LogicalPlan],
+        language: str = "cypher",
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Human-readable optimized logical + physical plan for a query."""
+        return self.optimize(query, language, parameters).explain()
+
+    def render_rows(self, optimized: OptimizedQuery, limit: int = 10) -> List[dict]:
+        """Human-friendly rendering of result rows (resolving graph references)."""
+        if optimized.result is None:
+            return []
+        return self.backend.render_rows(optimized.result, limit)

@@ -1,0 +1,145 @@
+"""Backend base class and execution results."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend.runtime.binding import ERef, PRef, VRef
+from repro.backend.runtime.context import ExecutionContext
+from repro.backend.runtime.operators import execute_operator
+from repro.errors import ExecutionTimeout
+from repro.graph.partition import GraphPartitioner
+from repro.graph.property_graph import PropertyGraph
+from repro.optimizer.physical_plan import PhysicalPlan
+from repro.optimizer.physical_spec import BackendProfile
+
+
+@dataclass
+class ExecutionMetrics:
+    """Work and time measurements of one plan execution."""
+
+    elapsed_seconds: float
+    intermediate_results: int
+    edges_traversed: int
+    vertices_scanned: int
+    tuples_shuffled: int
+    operators_executed: int
+    cells_produced: int = 0
+    timed_out: bool = False
+
+    @property
+    def total_work(self) -> int:
+        """Scalar proxy for execution effort used when comparing plans."""
+        return (self.intermediate_results + self.edges_traversed
+                + self.tuples_shuffled + self.cells_produced)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "intermediate_results": self.intermediate_results,
+            "edges_traversed": self.edges_traversed,
+            "vertices_scanned": self.vertices_scanned,
+            "tuples_shuffled": self.tuples_shuffled,
+            "operators_executed": self.operators_executed,
+            "cells_produced": self.cells_produced,
+            "timed_out": self.timed_out,
+        }
+
+
+@dataclass
+class ExecutionResult:
+    """Rows plus metrics for one executed plan."""
+
+    rows: List[dict]
+    metrics: ExecutionMetrics
+    backend: str = ""
+
+    @property
+    def timed_out(self) -> bool:
+        return self.metrics.timed_out
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def tuples(self, columns: Sequence[str]) -> List[tuple]:
+        return [tuple(row.get(col) for col in columns) for row in self.rows]
+
+
+class Backend:
+    """Common machinery for the simulated execution backends."""
+
+    name = "backend"
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        max_intermediate_results: Optional[int] = 2_000_000,
+        timeout_seconds: Optional[float] = 60.0,
+    ):
+        self.graph = graph
+        self.max_intermediate_results = max_intermediate_results
+        self.timeout_seconds = timeout_seconds
+
+    # subclasses override to provide a partitioner (distributed backends)
+    def _partitioner(self) -> Optional[GraphPartitioner]:
+        return None
+
+    def profile(self) -> BackendProfile:
+        """The PhysicalSpec profile this backend registers with the optimizer."""
+        raise NotImplementedError
+
+    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+        """Interpret a physical plan, enforcing the time/intermediate budget.
+
+        Plans exceeding the budget return an empty result flagged
+        ``timed_out`` (the harness reports them as OT, like the paper).
+        """
+        ctx = ExecutionContext(
+            self.graph,
+            partitioner=self._partitioner(),
+            max_intermediate_results=self.max_intermediate_results,
+            timeout_seconds=self.timeout_seconds,
+        )
+        start = time.perf_counter()
+        timed_out = False
+        rows: List[dict] = []
+        try:
+            rows = execute_operator(plan.root, ctx)
+        except ExecutionTimeout:
+            timed_out = True
+        elapsed = time.perf_counter() - start
+        counters = ctx.counters
+        metrics = ExecutionMetrics(
+            elapsed_seconds=elapsed,
+            intermediate_results=counters.intermediate_results,
+            edges_traversed=counters.edges_traversed,
+            vertices_scanned=counters.vertices_scanned,
+            tuples_shuffled=counters.tuples_shuffled,
+            operators_executed=counters.operators_executed,
+            cells_produced=counters.cells_produced,
+            timed_out=timed_out,
+        )
+        return ExecutionResult(rows=rows, metrics=metrics, backend=self.name)
+
+    # -- convenience helpers for presenting results ----------------------------------
+    def render_value(self, value):
+        """Human-friendly rendering of a binding value (for examples/CLI output)."""
+        if isinstance(value, VRef):
+            vertex = self.graph.vertex(value.id)
+            return "%s(%s)" % (vertex.type, vertex.properties.get("name", vertex.id))
+        if isinstance(value, ERef):
+            return "%s#%d" % (self.graph.edge_label(value.id), value.id)
+        if isinstance(value, PRef):
+            return "path(len=%d)" % value.length
+        return value
+
+    def render_rows(self, result: ExecutionResult, limit: int = 10) -> List[dict]:
+        rendered = []
+        for row in result.rows[:limit]:
+            rendered.append({tag: self.render_value(value) for tag, value in row.items()})
+        return rendered

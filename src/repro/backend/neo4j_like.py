@@ -1,0 +1,37 @@
+"""Neo4j-like backend: single-machine interpreted runtime.
+
+Stands in for Neo4j v4.4.9 in the experiments: a sequential executor with the
+Expand / ExpandInto / HashJoin physical operators, no partitioning and no
+communication cost.  Plans produced for this backend by GOpt use the
+``neo4j_profile`` (ExpandInto costing); plans produced by the baseline
+``CypherPlannerBaseline`` model Neo4j's own CypherPlanner.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.base import Backend
+from repro.graph.partition import GraphPartitioner
+from repro.graph.property_graph import PropertyGraph
+from repro.optimizer.physical_spec import BackendProfile, neo4j_profile
+
+
+class Neo4jLikeBackend(Backend):
+    """Single-machine interpreted runtime in the style of Neo4j."""
+
+    name = "neo4j"
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        max_intermediate_results: Optional[int] = 2_000_000,
+        timeout_seconds: Optional[float] = 60.0,
+    ):
+        super().__init__(graph, max_intermediate_results, timeout_seconds)
+
+    def _partitioner(self) -> Optional[GraphPartitioner]:
+        return None
+
+    def profile(self) -> BackendProfile:
+        return neo4j_profile()

@@ -1,0 +1,7 @@
+"""Shared runtime pieces: binding values, execution context and the interpreter."""
+
+from repro.backend.runtime.binding import ERef, PRef, VRef
+from repro.backend.runtime.context import ExecutionContext
+from repro.backend.runtime.operators import execute_operator
+
+__all__ = ["VRef", "ERef", "PRef", "ExecutionContext", "execute_operator"]

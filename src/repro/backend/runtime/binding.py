@@ -1,0 +1,34 @@
+"""Binding values: references to graph elements held in intermediate results.
+
+Rows of intermediate results are plain ``dict``s mapping tags to either graph
+references (:class:`VRef`, :class:`ERef`, :class:`PRef`) or scalar values
+produced by PROJECT/GROUP.  References are lightweight named tuples so they
+hash/compare quickly in joins, grouping and deduplication.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+
+class VRef(NamedTuple):
+    """Reference to a data vertex."""
+
+    id: int
+
+
+class ERef(NamedTuple):
+    """Reference to a data edge."""
+
+    id: int
+
+
+class PRef(NamedTuple):
+    """Reference to a path: the traversed edge ids plus the final vertex."""
+
+    edges: Tuple[int, ...]
+    end: int
+
+    @property
+    def length(self) -> int:
+        return len(self.edges)

@@ -1,0 +1,147 @@
+"""Execution context: data graph access, work counters and budgets."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.backend.runtime.binding import ERef, PRef, VRef
+from repro.errors import ExecutionTimeout
+from repro.gir.expressions import ExpressionEvaluator
+from repro.graph.partition import GraphPartitioner
+from repro.graph.property_graph import PropertyGraph
+
+
+@dataclass
+class WorkCounters:
+    """Backend-agnostic work counters reported with every execution."""
+
+    intermediate_results: int = 0
+    edges_traversed: int = 0
+    vertices_scanned: int = 0
+    tuples_shuffled: int = 0
+    operators_executed: int = 0
+    cells_produced: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "intermediate_results": self.intermediate_results,
+            "edges_traversed": self.edges_traversed,
+            "vertices_scanned": self.vertices_scanned,
+            "tuples_shuffled": self.tuples_shuffled,
+            "operators_executed": self.operators_executed,
+            "cells_produced": self.cells_produced,
+        }
+
+
+class ExecutionContext:
+    """Everything an operator needs while interpreting a physical plan."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        partitioner: Optional[GraphPartitioner] = None,
+        max_intermediate_results: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+    ):
+        self.graph = graph
+        self.partitioner = partitioner
+        self.counters = WorkCounters()
+        self.max_intermediate_results = max_intermediate_results
+        self.timeout_seconds = timeout_seconds
+        self._start_time = time.perf_counter()
+        self._operator_cache: Dict[int, List[dict]] = {}
+        self.evaluator = ExpressionEvaluator(
+            resolve_tag=self._resolve_tag,
+            resolve_property=self._resolve_property,
+            functions={
+                "id": self._fn_id,
+                "length": self._fn_length,
+                "type": self._fn_type,
+                "labels": self._fn_type,
+            },
+        )
+
+    # -- budgets ---------------------------------------------------------------
+    def charge_intermediate(self, count: int) -> None:
+        """Account produced intermediate rows and enforce the budget."""
+        self.counters.intermediate_results += count
+        if (
+            self.max_intermediate_results is not None
+            and self.counters.intermediate_results > self.max_intermediate_results
+        ):
+            raise ExecutionTimeout(
+                "intermediate result budget exceeded (%d rows)" % self.counters.intermediate_results,
+                metrics=self.counters.snapshot(),
+            )
+        self.check_deadline()
+
+    def check_deadline(self) -> None:
+        if self.timeout_seconds is not None:
+            elapsed = time.perf_counter() - self._start_time
+            if elapsed > self.timeout_seconds:
+                raise ExecutionTimeout(
+                    "execution exceeded %.1fs" % self.timeout_seconds,
+                    metrics=self.counters.snapshot(),
+                )
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start_time
+
+    # -- shuffle accounting ---------------------------------------------------------
+    def charge_shuffle_between(self, src_vertex: int, dst_vertex: int, rows: int = 1) -> None:
+        """Count a shuffle when two vertices live on different partitions."""
+        if self.partitioner is None:
+            return
+        if not self.partitioner.is_local(src_vertex, dst_vertex):
+            self.counters.tuples_shuffled += rows
+
+    def charge_shuffle(self, rows: int) -> None:
+        if self.partitioner is not None:
+            self.counters.tuples_shuffled += rows
+
+    # -- operator result cache (ComSubPattern sharing) ---------------------------------
+    def cached_result(self, op_id: int) -> Optional[List[dict]]:
+        return self._operator_cache.get(op_id)
+
+    def cache_result(self, op_id: int, rows: List[dict]) -> None:
+        self._operator_cache[op_id] = rows
+
+    # -- expression resolution ------------------------------------------------------------
+    def _resolve_tag(self, tag: str, binding: dict):
+        return binding.get(tag)
+
+    def _resolve_property(self, tag: str, key: str, binding: dict):
+        value = binding.get(tag)
+        if isinstance(value, VRef):
+            return self.graph.vertex_property(value.id, key)
+        if isinstance(value, ERef):
+            return self.graph.edge_property(value.id, key)
+        if isinstance(value, PRef):
+            if key == "length":
+                return value.length
+            return None
+        if isinstance(value, dict):
+            return value.get(key)
+        return None
+
+    def _fn_id(self, value):
+        if isinstance(value, (VRef, ERef)):
+            return value.id
+        return value
+
+    def _fn_length(self, value):
+        if isinstance(value, PRef):
+            return value.length
+        if hasattr(value, "__len__"):
+            return len(value)
+        return None
+
+    def _fn_type(self, value):
+        if isinstance(value, VRef):
+            return self.graph.vertex_type(value.id)
+        if isinstance(value, ERef):
+            return self.graph.edge_label(value.id)
+        return None

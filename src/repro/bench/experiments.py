@@ -1,0 +1,452 @@
+"""One entry point per experiment of the paper's evaluation section.
+
+Every function returns a list of row dictionaries (one per query/plan/scale
+combination) suitable for :func:`repro.bench.reporting.format_table`.  The
+functions accept the data graph(s) so the test suite can exercise them at a
+reduced scale while the ``benchmarks/`` targets run the full configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.backend import Backend
+from repro.bench.pipelines import build_optimizer, make_backend
+from repro.bench.reporting import OT, runtime_or_ot
+from repro.datasets import finance_graph, ldbc_snb_graph
+from repro.gir.operators import AggregateFunction
+from repro.gir.plan import LogicalPlan
+from repro.graph.property_graph import PropertyGraph
+from repro.optimizer.baselines import RandomPlanner
+from repro.optimizer.cardinality import GlogueQuery
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.glogue import Glogue
+from repro.optimizer.physical_plan import Aggregate, PhysicalPlan
+from repro.optimizer.physical_spec import graphscope_profile
+from repro.optimizer.planner import GOptimizer, OptimizerConfig
+from repro.optimizer.search import PatternSearcher, build_pattern_physical
+from repro.workloads import bi_queries, ic_queries, qc_queries, qr_queries, qt_queries
+from repro.workloads.base import Query
+from repro.workloads.st_paths import (
+    join_position,
+    single_direction_plan,
+    split_plan,
+    st_path_pattern,
+)
+
+
+# -- shared helpers ----------------------------------------------------------------------
+
+def _execute(optimizer: GOptimizer, backend: Backend, plan: LogicalPlan) -> Dict[str, object]:
+    """Optimize + execute one logical plan, returning runtime/work/rows."""
+    report = optimizer.optimize(plan)
+    result = backend.execute(report.physical_plan)
+    return {
+        "runtime": runtime_or_ot(result.metrics.elapsed_seconds, result.timed_out),
+        "work": result.metrics.total_work,
+        "rows": len(result),
+        "timed_out": result.timed_out,
+        "estimated_cost": report.estimated_cost,
+        "optimization_time": report.optimization_time,
+    }
+
+
+def _select_queries(query_set, names: Optional[Sequence[str]]) -> List[Query]:
+    queries = list(query_set)
+    if names is None:
+        return queries
+    wanted = set(names)
+    return [q for q in queries if q.name in wanted]
+
+
+# -- Table 1 and Table 3 ------------------------------------------------------------------
+
+def feature_matrix() -> List[Dict[str, object]]:
+    """Table 1: capability matrix of the compared systems.
+
+    The GOpt row is verified against this reproduction's actual capabilities
+    (multi-language parsing, both optimization modes, worst-case-optimal
+    expansion, high-order statistics and type inference).
+    """
+    from repro.lang import cypher_to_gir, gremlin_to_gir  # noqa: F401 - capability witness
+    from repro.optimizer.physical_spec import ExpandIntersectSpec  # noqa: F401
+    from repro.optimizer.type_inference import infer_types  # noqa: F401
+
+    return [
+        {"database": "Neo4j", "languages": "Cypher", "optimization": "RBO/CBO",
+         "wco_join": False, "high_order_stats": False, "type_inference": False},
+        {"database": "GraphScope", "languages": "Gremlin", "optimization": "RBO",
+         "wco_join": True, "high_order_stats": False, "type_inference": False},
+        {"database": "GLogS", "languages": "Gremlin", "optimization": "CBO",
+         "wco_join": True, "high_order_stats": True, "type_inference": False},
+        {"database": "GOpt (this repo)", "languages": "Cypher, Gremlin", "optimization": "RBO/CBO",
+         "wco_join": True, "high_order_stats": True, "type_inference": True},
+    ]
+
+
+def dataset_statistics(scales: Sequence[str] = ("G30", "G100", "G300", "G1000"),
+                       seed: int = 42) -> List[Dict[str, object]]:
+    """Table 3: |V|, |E| and statistics-collection cost per generated dataset."""
+    rows = []
+    for scale in scales:
+        start = time.perf_counter()
+        graph = ldbc_snb_graph(scale, seed=seed)
+        generation = time.perf_counter() - start
+        start = time.perf_counter()
+        glogue = Glogue.from_graph(graph)
+        stats_time = time.perf_counter() - start
+        rows.append({
+            "graph": scale,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "generation_seconds": generation,
+            "glogue_motifs": glogue.num_motifs,
+            "glogue_seconds": stats_time,
+        })
+    return rows
+
+
+# -- Fig. 8(a): heuristic rules --------------------------------------------------------------
+
+def heuristic_rules_experiment(
+    graph: PropertyGraph,
+    query_names: Optional[Sequence[str]] = None,
+    backend: Optional[Backend] = None,
+    glogue: Optional[Glogue] = None,
+) -> List[Dict[str, object]]:
+    """QR1..8 with the heuristic rules enabled vs disabled (Fig. 8(a)).
+
+    Following the paper, type inference and CBO are disabled on both sides so
+    only the rules differ.
+    """
+    backend = backend or make_backend(graph, "graphscope")
+    glogue = glogue or Glogue.from_graph(graph)
+    with_rules = GOptimizer.for_graph(
+        graph, profile=backend.profile(), glogue=glogue,
+        config=OptimizerConfig(enable_type_inference=False, enable_cbo=False))
+    without_rules = GOptimizer.for_graph(
+        graph, profile=backend.profile(), glogue=glogue,
+        config=OptimizerConfig(enable_rbo=False, enable_type_inference=False, enable_cbo=False))
+    rows = []
+    for query in _select_queries(qr_queries(), query_names):
+        plan = query.logical_plan()
+        with_opt = _execute(with_rules, backend, plan)
+        without_opt = _execute(without_rules, backend, plan)
+        rows.append({
+            "query": query.name,
+            "rule": query.tests,
+            "with_opt": with_opt["runtime"],
+            "without_opt": without_opt["runtime"],
+            "with_opt_work": with_opt["work"],
+            "without_opt_work": without_opt["work"],
+        })
+    return rows
+
+
+# -- Fig. 8(b): type inference -----------------------------------------------------------------
+
+def type_inference_experiment(
+    graph: PropertyGraph,
+    query_names: Optional[Sequence[str]] = None,
+    backend: Optional[Backend] = None,
+    glogue: Optional[Glogue] = None,
+) -> List[Dict[str, object]]:
+    """QT1..5 with type inference enabled vs disabled (Fig. 8(b)).
+
+    Following the paper's controlled setup, the CBO is disabled on both sides
+    (plans follow the written matching order) so the measured difference is
+    the inference's pruning of irrelevant types during execution.
+    """
+    backend = backend or make_backend(graph, "graphscope")
+    glogue = glogue or Glogue.from_graph(graph)
+    with_inference = GOptimizer.for_graph(
+        graph, profile=backend.profile(), glogue=glogue,
+        config=OptimizerConfig(enable_cbo=False))
+    without_inference = GOptimizer.for_graph(
+        graph, profile=backend.profile(), glogue=glogue,
+        config=OptimizerConfig(enable_cbo=False, enable_type_inference=False))
+    rows = []
+    for query in _select_queries(qt_queries(), query_names):
+        plan = query.logical_plan()
+        enabled = _execute(with_inference, backend, plan)
+        disabled = _execute(without_inference, backend, plan)
+        rows.append({
+            "query": query.name,
+            "with_opt": enabled["runtime"],
+            "without_opt": disabled["runtime"],
+            "with_opt_work": enabled["work"],
+            "without_opt_work": disabled["work"],
+        })
+    return rows
+
+
+# -- Fig. 8(c): cost-based optimization -----------------------------------------------------------
+
+def cbo_experiment(
+    graph: PropertyGraph,
+    query_names: Optional[Sequence[str]] = None,
+    num_random_plans: int = 5,
+    backend: Optional[Backend] = None,
+    glogue: Optional[Glogue] = None,
+) -> List[Dict[str, object]]:
+    """QC1..4(a|b): GOpt-plan vs GOpt-Neo-plan vs random plans (Fig. 8(c))."""
+    backend = backend or make_backend(graph, "graphscope")
+    glogue = glogue or Glogue.from_graph(graph)
+    profile = backend.profile()
+    gopt = build_optimizer(graph, "gopt", profile=profile, glogue=glogue)
+    gopt_neo = build_optimizer(graph, "gopt-neo-cost", profile=profile, glogue=glogue)
+    gq = GlogueQuery(glogue)
+    rows = []
+    for query in _select_queries(qc_queries(), query_names):
+        plan = query.logical_plan()
+        rows.append({"query": query.name, "plan": "GOpt-Plan",
+                     **_strip(_execute(gopt, backend, plan))})
+        rows.append({"query": query.name, "plan": "GOpt-Neo-Plan",
+                     **_strip(_execute(gopt_neo, backend, plan))})
+        for index in range(num_random_plans):
+            random_planner = RandomPlanner(gq, profile, seed=index + 1)
+            random_optimizer = GOptimizer.for_graph(
+                graph, profile=profile, glogue=glogue, pattern_planner=random_planner,
+                config=OptimizerConfig(enable_type_inference=True))
+            rows.append({"query": query.name, "plan": "Random-%d" % (index + 1),
+                         **_strip(_execute(random_optimizer, backend, plan))})
+    return rows
+
+
+def _strip(outcome: Dict[str, object]) -> Dict[str, object]:
+    return {"runtime": outcome["runtime"], "work": outcome["work"],
+            "estimated_cost": outcome["estimated_cost"]}
+
+
+# -- Fig. 8(d): cardinality estimation --------------------------------------------------------------
+
+def cardinality_experiment(
+    graph: PropertyGraph,
+    query_names: Optional[Sequence[str]] = None,
+    backend: Optional[Backend] = None,
+    glogue: Optional[Glogue] = None,
+) -> List[Dict[str, object]]:
+    """QC1..4(a|b) planned with high-order vs low-order statistics (Fig. 8(d))."""
+    backend = backend or make_backend(graph, "graphscope")
+    glogue = glogue or Glogue.from_graph(graph)
+    profile = backend.profile()
+    high_order = build_optimizer(graph, "gopt", profile=profile, glogue=glogue)
+    low_order = build_optimizer(graph, "gopt-low-order", profile=profile, glogue=glogue)
+    rows = []
+    for query in _select_queries(qc_queries(), query_names):
+        plan = query.logical_plan()
+        high = _execute(high_order, backend, plan)
+        low = _execute(low_order, backend, plan)
+        rows.append({
+            "query": query.name,
+            "high_order": high["runtime"],
+            "low_order": low["runtime"],
+            "high_order_work": high["work"],
+            "low_order_work": low["work"],
+        })
+    return rows
+
+
+# -- Fig. 8(e): optimizing Gremlin queries ------------------------------------------------------------
+
+def gremlin_experiment(
+    graph: PropertyGraph,
+    query_names: Optional[Sequence[str]] = None,
+    backend: Optional[Backend] = None,
+    glogue: Optional[Glogue] = None,
+) -> List[Dict[str, object]]:
+    """Gremlin QR/QC queries: GOpt-plan vs GraphScope's native GS-plan (Fig. 8(e))."""
+    backend = backend or make_backend(graph, "graphscope")
+    glogue = glogue or Glogue.from_graph(graph)
+    profile = backend.profile()
+    gopt = build_optimizer(graph, "gopt", profile=profile, glogue=glogue)
+    gs_native = build_optimizer(graph, "gs", profile=profile, glogue=glogue)
+    queries = [q for q in list(qr_queries()) + list(qc_queries()) if q.has_gremlin]
+    if query_names is not None:
+        queries = [q for q in queries if q.name in set(query_names)]
+    rows = []
+    for query in queries:
+        plan = query.logical_plan(language="gremlin")
+        gopt_run = _execute(gopt, backend, plan)
+        gs_run = _execute(gs_native, backend, plan)
+        rows.append({
+            "query": query.name,
+            "gopt_plan": gopt_run["runtime"],
+            "gs_plan": gs_run["runtime"],
+            "gopt_plan_work": gopt_run["work"],
+            "gs_plan_work": gs_run["work"],
+        })
+    return rows
+
+
+# -- Fig. 9(a)/(b): LDBC comprehensive experiments -----------------------------------------------------
+
+def ldbc_experiment(
+    graph: PropertyGraph,
+    backend_kind: str = "neo4j",
+    query_names: Optional[Sequence[str]] = None,
+    backend: Optional[Backend] = None,
+    glogue: Optional[Glogue] = None,
+) -> List[Dict[str, object]]:
+    """IC/BI workloads: Neo4j-plan vs GOpt-plan on one backend (Fig. 9(a)/(b))."""
+    backend = backend or make_backend(graph, backend_kind)
+    glogue = glogue or Glogue.from_graph(graph)
+    gopt = build_optimizer(graph, "gopt", profile=backend.profile(), glogue=glogue)
+    neo4j_planner = build_optimizer(graph, "neo4j", glogue=glogue)
+    queries = list(ic_queries()) + list(bi_queries())
+    if query_names is not None:
+        wanted = set(query_names)
+        queries = [q for q in queries if q.name in wanted]
+    rows = []
+    for query in queries:
+        plan = query.logical_plan()
+        neo4j_run = _execute(neo4j_planner, backend, plan)
+        gopt_run = _execute(gopt, backend, plan)
+        rows.append({
+            "query": query.name,
+            "neo4j_plan": neo4j_run["runtime"],
+            "gopt_plan": gopt_run["runtime"],
+            "neo4j_plan_work": neo4j_run["work"],
+            "gopt_plan_work": gopt_run["work"],
+        })
+    return rows
+
+
+# -- Fig. 10: data-scale experiments -------------------------------------------------------------------
+
+def scaling_experiment(
+    scales: Sequence[str] = ("G30", "G100", "G300", "G1000"),
+    query_names: Optional[Sequence[str]] = None,
+    workload: str = "IC",
+    seed: int = 42,
+    timeout_seconds: float = 30.0,
+) -> List[Dict[str, object]]:
+    """GOpt-on-GraphScope runtimes across dataset scales (Fig. 10(a)/(b))."""
+    queries = _select_queries(ic_queries() if workload == "IC" else bi_queries(), query_names)
+    rows = []
+    for scale in scales:
+        graph = ldbc_snb_graph(scale, seed=seed)
+        backend = make_backend(graph, "graphscope", timeout_seconds=timeout_seconds)
+        glogue = Glogue.from_graph(graph)
+        optimizer = build_optimizer(graph, "gopt", profile=backend.profile(), glogue=glogue)
+        for query in queries:
+            outcome = _execute(optimizer, backend, query.logical_plan())
+            rows.append({
+                "workload": workload,
+                "query": query.name,
+                "scale": scale,
+                "runtime": outcome["runtime"],
+                "work": outcome["work"],
+            })
+    return rows
+
+
+# -- Fig. 11: s-t path case study --------------------------------------------------------------------
+
+def st_path_experiment(
+    graph: Optional[PropertyGraph] = None,
+    id_sets: Optional[Dict[str, List[int]]] = None,
+    hops: int = 6,
+    backend: Optional[Backend] = None,
+    query_names: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """ST1..5: GOpt-plan vs single-direction Neo4j-plan vs two fixed splits (Fig. 11).
+
+    ``hops`` defaults to 6 as in the paper; reduce it for quick smoke runs on
+    smaller transfer graphs.
+    """
+    if graph is None or id_sets is None:
+        graph, id_sets = finance_graph()
+    backend = backend or make_backend(graph, "graphscope")
+    profile = graphscope_profile()
+    glogue = Glogue.from_graph(graph)
+    gq = GlogueQuery(glogue)
+    cost_model = CostModel(gq, profile)
+    searcher = PatternSearcher(gq, profile)
+
+    combos = [
+        ("ST1", "S1_small", "S2_large"),
+        ("ST2", "S1_large", "S2_small"),
+        ("ST3", "S1_small", "S2_small"),
+        ("ST4", "S1_large", "S2_large"),
+        ("ST5", "S2_small", "S1_small"),
+    ]
+    if query_names is not None:
+        combos = [c for c in combos if c[0] in set(query_names)]
+
+    rows = []
+    for name, s1_key, s2_key in combos:
+        pattern = st_path_pattern(id_sets[s1_key], id_sets[s2_key], hops=hops)
+        plans = {
+            "GOpt-plan": searcher.optimize(pattern).plan,
+            "Neo4j-plan": single_direction_plan(pattern, cost_model, from_source=True),
+            "Alt-plan1": split_plan(pattern, cost_model, left_hops=hops // 2),
+            "Alt-plan2": split_plan(pattern, cost_model, left_hops=1),
+        }
+        for plan_name, plan in plans.items():
+            physical = _count_plan(plan, profile)
+            result = backend.execute(physical)
+            rows.append({
+                "query": name,
+                "plan": plan_name,
+                "join_position": join_position(plan),
+                "runtime": runtime_or_ot(result.metrics.elapsed_seconds, result.timed_out),
+                "work": result.metrics.total_work,
+                "estimated_cost": plan.cost,
+            })
+    return rows
+
+
+def _count_plan(pattern_plan, profile) -> PhysicalPlan:
+    """Wrap a pattern plan with a COUNT aggregation (the ST queries return counts)."""
+    from repro.gir.operators import AggregateCall
+
+    op = build_pattern_physical(pattern_plan, profile)
+    count = Aggregate(
+        keys=(),
+        aggregations=(AggregateCall(AggregateFunction.COUNT, None, "paths"),),
+        mode=profile.aggregate_mode,
+        inputs=(op,),
+    )
+    return PhysicalPlan(count)
+
+
+# -- ablation: search-strategy variations (DESIGN.md section 5) -----------------------------------------
+
+def search_ablation_experiment(
+    graph: PropertyGraph,
+    query_names: Optional[Sequence[str]] = None,
+    glogue: Optional[Glogue] = None,
+) -> List[Dict[str, object]]:
+    """Effect of branch-and-bound pruning / greedy bound / hybrid joins on search effort."""
+    glogue = glogue or Glogue.from_graph(graph)
+    gq = GlogueQuery(glogue)
+    profile = graphscope_profile()
+    variants = {
+        "full": PatternSearcher(gq, profile),
+        "no-pruning": PatternSearcher(gq, profile, enable_pruning=False),
+        "no-greedy-bound": PatternSearcher(gq, profile, enable_greedy_bound=False),
+        "no-join": PatternSearcher(gq, profile, enable_join=False),
+    }
+    gopt = build_optimizer(graph, "gopt", profile=profile, glogue=glogue)
+    rows = []
+    for query in _select_queries(qc_queries(), query_names):
+        plan = query.logical_plan()
+        report = gopt.optimize(plan)
+        if not report.pattern_searches:
+            continue
+        pattern = report.pattern_searches[0].pattern
+        for variant_name, searcher in variants.items():
+            start = time.perf_counter()
+            result = searcher.optimize(pattern)
+            elapsed = time.perf_counter() - start
+            rows.append({
+                "query": query.name,
+                "variant": variant_name,
+                "plan_cost": result.cost,
+                "states_explored": result.states_explored,
+                "candidates_pruned": result.candidates_pruned,
+                "search_seconds": elapsed,
+            })
+    return rows

@@ -1,0 +1,90 @@
+"""Result-table formatting and summary statistics for the experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: value recorded for queries that exceeded the execution budget
+OT = "OT"
+
+
+def speedup(baseline: Optional[float], improved: Optional[float]) -> Optional[float]:
+    """Baseline/improved ratio; ``None`` when either side is missing or OT."""
+    if baseline is None or improved is None or improved <= 0:
+        return None
+    return baseline / improved
+
+
+def geometric_mean(values: Sequence[float]) -> Optional[float]:
+    """Geometric mean of positive values; ``None`` for an empty sequence."""
+    positives = [v for v in values if v is not None and v > 0]
+    if not positives:
+        return None
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value >= 1000:
+            return "%.0f" % value
+        if value >= 1:
+            return "%.2f" % value
+        return "%.4f" % value
+    return str(value)
+
+
+def format_table(rows: List[Dict[str, object]], columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render rows as a fixed-width text table (the bench scripts print these)."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(col) for col in columns}
+    rendered_rows = []
+    for row in rows:
+        rendered = {col: format_value(row.get(col)) for col in columns}
+        rendered_rows.append(rendered)
+        for col in columns:
+            widths[col] = max(widths[col], len(rendered[col]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[col].ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def runtime_or_ot(elapsed: float, timed_out: bool) -> object:
+    """The value reported for one execution: elapsed seconds, or ``"OT"``."""
+    return OT if timed_out else elapsed
+
+
+def summarise_speedups(rows: List[Dict[str, object]], baseline_col: str, improved_col: str) -> Dict[str, object]:
+    """Average/max speedup across rows, counting OT baselines as wins."""
+    ratios = []
+    ot_wins = 0
+    for row in rows:
+        baseline = row.get(baseline_col)
+        improved = row.get(improved_col)
+        if baseline == OT and improved != OT:
+            ot_wins += 1
+            continue
+        if isinstance(baseline, (int, float)) and isinstance(improved, (int, float)):
+            ratio = speedup(baseline, improved)
+            if ratio is not None:
+                ratios.append(ratio)
+    return {
+        "count": len(ratios),
+        "geo_mean_speedup": geometric_mean(ratios),
+        "max_speedup": max(ratios) if ratios else None,
+        "baseline_ot_count": ot_wins,
+    }

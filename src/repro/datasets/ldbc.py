@@ -1,0 +1,303 @@
+"""LDBC SNB-like synthetic graph generator (substitute for the official datasets).
+
+The paper's experiments use LDBC Social Network Benchmark graphs ``G30`` to
+``G1000`` (40 GB to 2 TB).  Those datasets cannot be generated offline at that
+scale, so this module provides a generator with the same *schema* and the same
+*statistical character* (power-law friendship and message activity, correlated
+placement of persons/messages, a shallow place hierarchy) at laptop scale.
+Scale-factor names from Table 3 are mapped to person counts via
+:data:`LDBC_SCALE_FACTORS`, so the data-scale experiment (Fig. 10) can sweep
+the same x-axis labels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import sample_degree_power_law
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import GraphSchema
+
+#: Mapping of the paper's dataset names (Table 3) to generator person counts.
+#: The ratios between successive scale factors (~3x) match the paper; absolute
+#: sizes are scaled down so the pure-Python backends finish in seconds.
+LDBC_SCALE_FACTORS: Dict[str, int] = {
+    "G30": 150,
+    "G100": 400,
+    "G300": 900,
+    "G1000": 2000,
+}
+
+_CONTINENTS = ["Asia", "Europe", "America", "Africa"]
+_COUNTRIES = [
+    "China", "India", "Japan", "Germany", "France", "Spain", "Brazil", "Chile",
+    "Canada", "Mexico", "Kenya", "Egypt",
+]
+_CITIES_PER_COUNTRY = 3
+_TAG_CLASSES = [
+    "Music", "Sports", "Politics", "Science", "Film", "Literature", "Technology", "Travel",
+]
+_BROWSERS = ["Chrome", "Firefox", "Safari", "Edge"]
+_LANGUAGES = ["en", "zh", "de", "es", "pt"]
+_FIRST_NAMES = [
+    "Wei", "Anna", "Jun", "Maria", "Otto", "Lin", "Sara", "Ivan", "Noor", "Karl",
+    "Mei", "Luis", "Aya", "Tom", "Zoe", "Raj", "Eva", "Ben", "Lea", "Max",
+]
+_LAST_NAMES = [
+    "Zhang", "Muller", "Silva", "Tanaka", "Okafor", "Garcia", "Smith", "Kumar",
+    "Rossi", "Chen", "Novak", "Dubois", "Khan", "Yamada", "Olsen", "Costa",
+]
+
+
+def ldbc_schema() -> GraphSchema:
+    """The (simplified but structurally faithful) LDBC SNB property-graph schema."""
+    schema = GraphSchema()
+    schema.add_vertex_type("Person", {
+        "id": "int", "firstName": "string", "lastName": "string", "birthday": "int",
+        "creationDate": "int", "browserUsed": "string", "gender": "string",
+    })
+    schema.add_vertex_type("Forum", {"id": "int", "title": "string", "creationDate": "int"})
+    schema.add_vertex_type("Post", {
+        "id": "int", "content": "string", "length": "int", "creationDate": "int",
+        "language": "string", "browserUsed": "string",
+    })
+    schema.add_vertex_type("Comment", {
+        "id": "int", "content": "string", "length": "int", "creationDate": "int",
+        "browserUsed": "string",
+    })
+    schema.add_vertex_type("Tag", {"id": "int", "name": "string"})
+    schema.add_vertex_type("TagClass", {"id": "int", "name": "string"})
+    schema.add_vertex_type("Place", {"id": "int", "name": "string", "type": "string"})
+    schema.add_vertex_type("Organisation", {"id": "int", "name": "string", "type": "string"})
+
+    schema.add_edge_type("KNOWS", "Person", "Person", {"creationDate": "int"})
+    schema.add_edge_type("HAS_INTEREST", "Person", "Tag")
+    schema.add_edge_type("IS_LOCATED_IN", "Person", "Place")
+    schema.add_edge_type("IS_LOCATED_IN", "Post", "Place")
+    schema.add_edge_type("IS_LOCATED_IN", "Comment", "Place")
+    schema.add_edge_type("IS_LOCATED_IN", "Organisation", "Place")
+    schema.add_edge_type("WORK_AT", "Person", "Organisation", {"workFrom": "int"})
+    schema.add_edge_type("STUDY_AT", "Person", "Organisation", {"classYear": "int"})
+    schema.add_edge_type("LIKES", "Person", "Post", {"creationDate": "int"})
+    schema.add_edge_type("LIKES", "Person", "Comment", {"creationDate": "int"})
+    schema.add_edge_type("HAS_MEMBER", "Forum", "Person", {"joinDate": "int"})
+    schema.add_edge_type("HAS_MODERATOR", "Forum", "Person")
+    schema.add_edge_type("CONTAINER_OF", "Forum", "Post")
+    schema.add_edge_type("HAS_CREATOR", "Post", "Person")
+    schema.add_edge_type("HAS_CREATOR", "Comment", "Person")
+    schema.add_edge_type("REPLY_OF", "Comment", "Post")
+    schema.add_edge_type("REPLY_OF", "Comment", "Comment")
+    schema.add_edge_type("HAS_TAG", "Post", "Tag")
+    schema.add_edge_type("HAS_TAG", "Comment", "Tag")
+    schema.add_edge_type("HAS_TAG", "Forum", "Tag")
+    schema.add_edge_type("HAS_TYPE", "Tag", "TagClass")
+    schema.add_edge_type("IS_SUBCLASS_OF", "TagClass", "TagClass")
+    schema.add_edge_type("IS_PART_OF", "Place", "Place")
+    return schema
+
+
+@dataclass
+class LdbcGraphGenerator:
+    """Generator for LDBC-SNB-like graphs.
+
+    Parameters control the absolute size; the relative sizes between entity
+    types follow the LDBC SNB data model (each person authors several posts,
+    each post attracts a handful of comments, tag/place/organisation sets are
+    small dictionaries).
+    """
+
+    num_persons: int = 150
+    seed: int = 42
+    mean_friends: float = 8.0
+    posts_per_person: float = 3.0
+    comments_per_post: float = 1.5
+    num_tags: int = 48
+    num_organisations: int = 24
+
+    def generate(self) -> PropertyGraph:
+        rng = random.Random(self.seed)
+        schema = ldbc_schema()
+        builder = GraphBuilder(schema=schema, validate=True)
+
+        self._build_places(builder)
+        self._build_tags(builder, rng)
+        self._build_organisations(builder, rng)
+        persons = self._build_persons(builder, rng)
+        forums = self._build_forums(builder, rng, persons)
+        posts = self._build_posts(builder, rng, persons, forums)
+        self._build_comments(builder, rng, persons, posts)
+        graph = builder.build()
+        graph.set_schema(schema)
+        return graph
+
+    # -- static dictionaries ---------------------------------------------------
+    def _build_places(self, builder: GraphBuilder) -> None:
+        place_id = 0
+        for continent in _CONTINENTS:
+            builder.add_vertex(("Place", continent), "Place",
+                               {"id": place_id, "name": continent, "type": "Continent"})
+            place_id += 1
+        for index, country in enumerate(_COUNTRIES):
+            builder.add_vertex(("Place", country), "Place",
+                               {"id": place_id, "name": country, "type": "Country"})
+            place_id += 1
+            continent = _CONTINENTS[index % len(_CONTINENTS)]
+            builder.add_edge(("Place", country), ("Place", continent), "IS_PART_OF")
+            for city_index in range(_CITIES_PER_COUNTRY):
+                city = "%s City %d" % (country, city_index)
+                builder.add_vertex(("Place", city), "Place",
+                                   {"id": place_id, "name": city, "type": "City"})
+                place_id += 1
+                builder.add_edge(("Place", city), ("Place", country), "IS_PART_OF")
+
+    def _build_tags(self, builder: GraphBuilder, rng: random.Random) -> None:
+        for index, name in enumerate(_TAG_CLASSES):
+            builder.add_vertex(("TagClass", name), "TagClass", {"id": index, "name": name})
+        for index, name in enumerate(_TAG_CLASSES[1:], start=1):
+            builder.add_edge(("TagClass", name), ("TagClass", _TAG_CLASSES[0]), "IS_SUBCLASS_OF")
+        for tag_index in range(self.num_tags):
+            name = "Tag-%d" % tag_index
+            builder.add_vertex(("Tag", tag_index), "Tag", {"id": tag_index, "name": name})
+            tag_class = _TAG_CLASSES[tag_index % len(_TAG_CLASSES)]
+            builder.add_edge(("Tag", tag_index), ("TagClass", tag_class), "HAS_TYPE")
+
+    def _build_organisations(self, builder: GraphBuilder, rng: random.Random) -> None:
+        for org_index in range(self.num_organisations):
+            org_type = "University" if org_index % 3 == 0 else "Company"
+            builder.add_vertex(
+                ("Organisation", org_index), "Organisation",
+                {"id": org_index, "name": "%s-%d" % (org_type, org_index), "type": org_type},
+            )
+            country = _COUNTRIES[org_index % len(_COUNTRIES)]
+            builder.add_edge(("Organisation", org_index), ("Place", country), "IS_LOCATED_IN")
+
+    # -- dynamic entities -------------------------------------------------------
+    def _cities(self) -> List[str]:
+        return [
+            "%s City %d" % (country, city_index)
+            for country in _COUNTRIES
+            for city_index in range(_CITIES_PER_COUNTRY)
+        ]
+
+    def _build_persons(self, builder: GraphBuilder, rng: random.Random) -> List[int]:
+        cities = self._cities()
+        persons = list(range(self.num_persons))
+        for person in persons:
+            builder.add_vertex(("Person", person), "Person", {
+                "id": person,
+                "firstName": _FIRST_NAMES[person % len(_FIRST_NAMES)],
+                "lastName": _LAST_NAMES[(person // len(_FIRST_NAMES)) % len(_LAST_NAMES)],
+                "birthday": rng.randint(1950, 2005),
+                "creationDate": rng.randint(2010, 2023),
+                "browserUsed": rng.choice(_BROWSERS),
+                "gender": "female" if person % 2 else "male",
+            })
+            builder.add_edge(("Person", person), ("Place", rng.choice(cities)), "IS_LOCATED_IN")
+            for tag in rng.sample(range(self.num_tags), k=min(self.num_tags, rng.randint(1, 5))):
+                builder.add_edge(("Person", person), ("Tag", tag), "HAS_INTEREST")
+            if rng.random() < 0.7:
+                org = rng.randrange(self.num_organisations)
+                label = "STUDY_AT" if org % 3 == 0 else "WORK_AT"
+                prop = {"classYear": rng.randint(1995, 2020)} if label == "STUDY_AT" else {
+                    "workFrom": rng.randint(2000, 2024)}
+                builder.add_edge(("Person", person), ("Organisation", org), label, prop)
+        # power-law friendships
+        for person in persons:
+            degree = sample_degree_power_law(rng, self.mean_friends, exponent=2.4,
+                                             max_degree=max(4, self.num_persons // 4))
+            for _ in range(degree):
+                friend = min(int(rng.random() ** 1.8 * self.num_persons), self.num_persons - 1)
+                if friend != person:
+                    builder.add_edge(("Person", person), ("Person", friend), "KNOWS",
+                                     {"creationDate": rng.randint(2010, 2024)})
+        return persons
+
+    def _build_forums(self, builder: GraphBuilder, rng: random.Random, persons: List[int]) -> List[int]:
+        num_forums = max(2, self.num_persons // 3)
+        forums = list(range(num_forums))
+        for forum in forums:
+            builder.add_vertex(("Forum", forum), "Forum", {
+                "id": forum,
+                "title": "Forum-%d" % forum,
+                "creationDate": rng.randint(2010, 2023),
+            })
+            moderator = rng.choice(persons)
+            builder.add_edge(("Forum", forum), ("Person", moderator), "HAS_MODERATOR")
+            members = rng.sample(persons, k=min(len(persons), rng.randint(3, max(4, len(persons) // 10))))
+            for member in members:
+                builder.add_edge(("Forum", forum), ("Person", member), "HAS_MEMBER",
+                                 {"joinDate": rng.randint(2010, 2024)})
+            for tag in rng.sample(range(self.num_tags), k=rng.randint(1, 3)):
+                builder.add_edge(("Forum", forum), ("Tag", tag), "HAS_TAG")
+        return forums
+
+    def _build_posts(self, builder: GraphBuilder, rng: random.Random,
+                     persons: List[int], forums: List[int]) -> List[int]:
+        cities = self._cities()
+        num_posts = int(self.num_persons * self.posts_per_person)
+        posts = list(range(num_posts))
+        for post in posts:
+            creator = min(int(rng.random() ** 1.5 * self.num_persons), self.num_persons - 1)
+            builder.add_vertex(("Post", post), "Post", {
+                "id": post,
+                "content": "post-%d" % post,
+                "length": rng.randint(10, 2000),
+                "creationDate": rng.randint(2010, 2024),
+                "language": rng.choice(_LANGUAGES),
+                "browserUsed": rng.choice(_BROWSERS),
+            })
+            builder.add_edge(("Post", post), ("Person", creator), "HAS_CREATOR")
+            builder.add_edge(("Post", post), ("Place", rng.choice(cities)), "IS_LOCATED_IN")
+            builder.add_edge(("Forum", rng.choice(forums)), ("Post", post), "CONTAINER_OF")
+            for tag in rng.sample(range(self.num_tags), k=rng.randint(1, 3)):
+                builder.add_edge(("Post", post), ("Tag", tag), "HAS_TAG")
+            num_likes = sample_degree_power_law(rng, 2.0, exponent=2.2, max_degree=20)
+            for liker in rng.sample(persons, k=min(num_likes, len(persons))):
+                builder.add_edge(("Person", liker), ("Post", post), "LIKES",
+                                 {"creationDate": rng.randint(2010, 2024)})
+        return posts
+
+    def _build_comments(self, builder: GraphBuilder, rng: random.Random,
+                        persons: List[int], posts: List[int]) -> List[int]:
+        cities = self._cities()
+        num_comments = int(len(posts) * self.comments_per_post)
+        comments = list(range(num_comments))
+        for comment in comments:
+            creator = min(int(rng.random() ** 1.5 * self.num_persons), self.num_persons - 1)
+            builder.add_vertex(("Comment", comment), "Comment", {
+                "id": comment,
+                "content": "comment-%d" % comment,
+                "length": rng.randint(5, 500),
+                "creationDate": rng.randint(2010, 2024),
+                "browserUsed": rng.choice(_BROWSERS),
+            })
+            builder.add_edge(("Comment", comment), ("Person", creator), "HAS_CREATOR")
+            builder.add_edge(("Comment", comment), ("Place", rng.choice(cities)), "IS_LOCATED_IN")
+            # most comments reply to a post, some reply to an earlier comment
+            if comment > 0 and rng.random() < 0.3:
+                builder.add_edge(("Comment", comment), ("Comment", rng.randrange(comment)), "REPLY_OF")
+            else:
+                builder.add_edge(("Comment", comment), ("Post", rng.choice(posts)), "REPLY_OF")
+            for tag in rng.sample(range(self.num_tags), k=rng.randint(0, 2)):
+                builder.add_edge(("Comment", comment), ("Tag", tag), "HAS_TAG")
+            if rng.random() < 0.4:
+                liker = rng.choice(persons)
+                builder.add_edge(("Person", liker), ("Comment", comment), "LIKES",
+                                 {"creationDate": rng.randint(2010, 2024)})
+        return comments
+
+
+def ldbc_snb_graph(scale: str = "G30", seed: int = 42, **overrides) -> PropertyGraph:
+    """Generate an LDBC-SNB-like graph for one of the Table 3 scale names.
+
+    ``scale`` is one of ``"G30"``, ``"G100"``, ``"G300"``, ``"G1000"``; other
+    generator parameters can be overridden via keyword arguments.
+    """
+    if scale not in LDBC_SCALE_FACTORS:
+        raise ValueError("unknown scale %r; expected one of %s" % (scale, sorted(LDBC_SCALE_FACTORS)))
+    params = {"num_persons": LDBC_SCALE_FACTORS[scale], "seed": seed}
+    params.update(overrides)
+    return LdbcGraphGenerator(**params).generate()

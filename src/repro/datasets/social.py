@@ -1,0 +1,106 @@
+"""The small social-commerce graph used by the paper's running examples.
+
+Schema (paper Fig. 5(a) / Fig. 6):
+
+* vertex types ``Person``, ``Product``, ``Place``;
+* edge types ``Knows`` (Person->Person), ``Purchases`` (Person->Product),
+  ``LocatedIn`` (Person->Place) and ``ProducedIn`` (Product->Place).
+
+The generator is deterministic for a given seed, produces a ``name`` property
+on every vertex (including a ``"China"`` place so the running example query
+returns results), and keeps the graph small enough for doctest-style examples
+while still exhibiting skew between types.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import GraphSchema
+
+_PLACE_NAMES = [
+    "China", "Germany", "India", "Brazil", "Japan", "France", "Kenya", "Chile",
+    "Norway", "Canada", "Egypt", "Spain", "Italy", "Mexico", "Poland", "Peru",
+]
+
+_FIRST_NAMES = [
+    "Ada", "Bart", "Chen", "Dina", "Emil", "Fang", "Gita", "Hugo", "Ivy", "Jin",
+    "Kira", "Liam", "Mona", "Nils", "Omar", "Ping", "Quinn", "Rosa", "Sam", "Tara",
+]
+
+_PRODUCT_NAMES = [
+    "Laptop", "Phone", "Tablet", "Camera", "Monitor", "Router", "Speaker",
+    "Keyboard", "Drone", "Printer", "Watch", "Charger", "Headset", "Scanner",
+]
+
+
+def social_commerce_schema() -> GraphSchema:
+    """Schema of the Person/Product/Place running-example graph."""
+    schema = GraphSchema()
+    schema.add_vertex_type("Person", {"id": "int", "name": "string", "age": "int"})
+    schema.add_vertex_type("Product", {"id": "int", "name": "string", "price": "int"})
+    schema.add_vertex_type("Place", {"id": "int", "name": "string"})
+    schema.add_edge_type("Knows", "Person", "Person", {"since": "int"})
+    schema.add_edge_type("Purchases", "Person", "Product", {"amount": "int"})
+    schema.add_edge_type("LocatedIn", "Person", "Place")
+    schema.add_edge_type("ProducedIn", "Product", "Place")
+    return schema
+
+
+def social_commerce_graph(
+    num_persons: int = 120,
+    num_products: int = 40,
+    num_places: int = 12,
+    seed: int = 7,
+    schema: Optional[GraphSchema] = None,
+) -> PropertyGraph:
+    """Generate the social-commerce example graph.
+
+    Every person lives somewhere (``LocatedIn``), knows a few other persons,
+    and purchases a few products; every product is produced in one place.
+    """
+    rng = random.Random(seed)
+    schema = schema or social_commerce_schema()
+    builder = GraphBuilder(schema=schema, validate=True)
+
+    num_places = max(1, min(num_places, len(_PLACE_NAMES)))
+    for i in range(num_places):
+        builder.add_vertex(("Place", i), "Place", {"id": i, "name": _PLACE_NAMES[i]})
+
+    for i in range(num_persons):
+        name = "%s %d" % (_FIRST_NAMES[i % len(_FIRST_NAMES)], i)
+        builder.add_vertex(
+            ("Person", i), "Person", {"id": i, "name": name, "age": rng.randint(18, 80)}
+        )
+
+    for i in range(num_products):
+        name = "%s %d" % (_PRODUCT_NAMES[i % len(_PRODUCT_NAMES)], i)
+        builder.add_vertex(
+            ("Product", i), "Product", {"id": i, "name": name, "price": rng.randint(5, 2500)}
+        )
+
+    for i in range(num_persons):
+        builder.add_edge(("Person", i), ("Place", rng.randrange(num_places)), "LocatedIn")
+        num_friends = rng.randint(1, max(2, num_persons // 20))
+        friends = rng.sample(range(num_persons), min(num_friends, num_persons))
+        for friend in friends:
+            if friend != i:
+                builder.add_edge(
+                    ("Person", i), ("Person", friend), "Knows", {"since": rng.randint(2000, 2024)}
+                )
+        num_purchases = rng.randint(0, 5)
+        for _ in range(num_purchases):
+            builder.add_edge(
+                ("Person", i),
+                ("Product", rng.randrange(num_products)),
+                "Purchases",
+                {"amount": rng.randint(1, 5)},
+            )
+
+    for i in range(num_products):
+        builder.add_edge(("Product", i), ("Place", rng.randrange(num_places)), "ProducedIn")
+
+    return builder.build()

@@ -1,0 +1,50 @@
+"""Exception hierarchy shared across the GOpt reproduction."""
+
+
+class GOptError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(GOptError):
+    """Raised when a graph schema is malformed or a schema lookup fails."""
+
+
+class GraphError(GOptError):
+    """Raised when graph construction or access is invalid."""
+
+
+class GirBuildError(GOptError):
+    """Raised when a logical plan cannot be constructed from builder calls."""
+
+
+class ParseError(GOptError):
+    """Raised by the Cypher/Gremlin front-ends on invalid query text."""
+
+    def __init__(self, message, position=None, text=None):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+
+class TypeInferenceError(GOptError):
+    """Raised when a pattern admits no valid type assignment (INVALID)."""
+
+
+class PlanningError(GOptError):
+    """Raised when the optimizer cannot produce a physical plan."""
+
+
+class ExecutionError(GOptError):
+    """Raised by a backend when a physical plan cannot be executed."""
+
+
+class ExecutionTimeout(ExecutionError):
+    """Raised when a plan exceeds the backend's time or intermediate-result budget.
+
+    The benchmark harness records such queries as "OT" (over time), matching
+    the paper's treatment of queries exceeding one hour.
+    """
+
+    def __init__(self, message, metrics=None):
+        super().__init__(message)
+        self.metrics = metrics

@@ -1,0 +1,63 @@
+"""Unified Graph Intermediate Representation (GIR) for CGPs (paper Section 5).
+
+A CGP is represented as a DAG of logical operators: graph operators
+(``MATCH_PATTERN`` wrapping ``GET_VERTEX`` / ``EXPAND_EDGE`` / ``EXPAND_PATH``
+steps) and relational operators (``SELECT``, ``PROJECT``, ``JOIN``, ``GROUP``,
+``ORDER``, ``LIMIT``, ``UNION``).  The :class:`GraphIrBuilder` offers the
+paper's high-level interface for constructing logical plans in a
+language-independent way.
+"""
+
+from repro.gir.builder import GraphIrBuilder, PatternSentenceBuilder
+from repro.gir.expressions import (
+    BinaryOp,
+    Expr,
+    Literal,
+    Property,
+    TagRef,
+    UnaryOp,
+    parse_expression,
+)
+from repro.gir.operators import (
+    AggregateFunction,
+    GroupOp,
+    JoinOp,
+    JoinType,
+    LimitOp,
+    LogicalOperator,
+    MatchPatternOp,
+    OrderOp,
+    ProjectOp,
+    SelectOp,
+    UnionOp,
+)
+from repro.gir.pattern import PathConstraint, PatternEdge, PatternGraph, PatternVertex
+from repro.gir.plan import LogicalPlan
+
+__all__ = [
+    "GraphIrBuilder",
+    "PatternSentenceBuilder",
+    "LogicalPlan",
+    "LogicalOperator",
+    "MatchPatternOp",
+    "SelectOp",
+    "ProjectOp",
+    "JoinOp",
+    "JoinType",
+    "GroupOp",
+    "OrderOp",
+    "LimitOp",
+    "UnionOp",
+    "AggregateFunction",
+    "PatternGraph",
+    "PatternVertex",
+    "PatternEdge",
+    "PathConstraint",
+    "Expr",
+    "Literal",
+    "Property",
+    "TagRef",
+    "BinaryOp",
+    "UnaryOp",
+    "parse_expression",
+]

@@ -1,0 +1,348 @@
+"""GraphIrBuilder: the paper's high-level interface for building GIR plans.
+
+The builder mirrors the code snippet of Section 5.2::
+
+    builder = GraphIrBuilder()
+    pattern1 = (builder.pattern_start()
+                .get_v(alias="v1", vtype=AllType())
+                .expand_e(tag="v1", alias="e1", etype=AllType(), direction=Direction.OUT)
+                .get_v(tag="e1", alias="v2", vtype=AllType())
+                .pattern_end())
+    query = (builder.join(pattern1, pattern2, keys=["v1", "v3"])
+             .select("v3.name = 'China'")
+             .group(keys=["v2"], agg_func=AggregateFunction.COUNT, alias="cnt")
+             .order(keys=["cnt"], limit=10))
+    plan = query.build()
+
+CamelCase aliases (``patternStart``, ``getV``, ``expandE``, ``patternEnd``)
+are provided so the paper's exact spelling also works.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import GirBuildError
+from repro.gir.expressions import Expr, Property, TagRef, parse_expression
+from repro.gir.operators import (
+    AggregateCall,
+    AggregateFunction,
+    DedupOp,
+    GroupOp,
+    JoinOp,
+    JoinType,
+    LimitOp,
+    LogicalOperator,
+    MatchPatternOp,
+    OrderOp,
+    ProjectItem,
+    ProjectOp,
+    SelectOp,
+    SortKey,
+    UnionOp,
+)
+from repro.gir.pattern import PathConstraint, PatternGraph
+from repro.gir.plan import LogicalPlan
+from repro.graph.types import Direction, TypeConstraint
+
+
+def _coerce_expr(value: Union[str, Expr]) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return parse_expression(value)
+    raise GirBuildError("expected an expression or string, got %r" % (value,))
+
+
+def _coerce_key_expr(value: Union[str, Expr]) -> Tuple[Expr, str]:
+    """Coerce a group/order key into (expression, alias)."""
+    if isinstance(value, str):
+        if "." in value:
+            expr = parse_expression(value)
+            return expr, value.replace(".", "_")
+        return TagRef(value), value
+    if isinstance(value, TagRef):
+        return value, value.tag
+    if isinstance(value, Property):
+        return value, "%s_%s" % (value.tag, value.key)
+    if isinstance(value, Expr):
+        return value, repr(value)
+    raise GirBuildError("invalid key %r" % (value,))
+
+
+class PatternSentenceBuilder:
+    """Builds one pattern sentence between MATCH_START and MATCH_END."""
+
+    def __init__(self, ir_builder: "GraphIrBuilder"):
+        self._ir_builder = ir_builder
+        self._pattern = PatternGraph()
+        self._pending_edge: Optional[dict] = None
+        self._edge_counter = 0
+        self._vertex_counter = 0
+
+    # -- steps ---------------------------------------------------------------
+    def get_v(
+        self,
+        alias: Optional[str] = None,
+        vtype=None,
+        tag: Optional[str] = None,
+        endpoint: str = "end",
+        predicates: Sequence[Union[str, Expr]] = (),
+    ) -> "PatternSentenceBuilder":
+        """``GET_VERTEX``: start a new vertex, or resolve a pending edge endpoint."""
+        alias = alias or self._fresh_vertex_alias()
+        constraint = TypeConstraint.coerce(vtype)
+        preds = tuple(_coerce_expr(p) for p in predicates)
+        if self._pending_edge is None and tag is None:
+            self._pattern.add_vertex(alias, constraint, preds)
+            return self
+        if self._pending_edge is None:
+            raise GirBuildError(
+                "get_v with tag %r requires a preceding expand_e step" % (tag,)
+            )
+        pending = self._pending_edge
+        if tag is not None and tag != pending["alias"]:
+            raise GirBuildError(
+                "get_v tag %r does not match the pending edge %r" % (tag, pending["alias"])
+            )
+        self._pattern.add_vertex(alias, constraint, preds)
+        direction = pending["direction"]
+        if direction is Direction.IN:
+            src, dst = alias, pending["anchor"]
+        else:
+            src, dst = pending["anchor"], alias
+        self._pattern.add_edge(
+            pending["alias"],
+            src,
+            dst,
+            pending["constraint"],
+            pending["predicates"],
+            pending["min_hops"],
+            pending["max_hops"],
+            pending["path_constraint"],
+        )
+        self._pending_edge = None
+        return self
+
+    def expand_e(
+        self,
+        tag: Optional[str] = None,
+        alias: Optional[str] = None,
+        etype=None,
+        direction: Direction = Direction.OUT,
+        predicates: Sequence[Union[str, Expr]] = (),
+    ) -> "PatternSentenceBuilder":
+        """``EXPAND_EDGE``: start an edge expansion anchored at the tagged vertex."""
+        return self._start_edge(tag, alias, etype, direction, predicates, 1, 1, PathConstraint.ARBITRARY)
+
+    def expand_path(
+        self,
+        tag: Optional[str] = None,
+        alias: Optional[str] = None,
+        etype=None,
+        direction: Direction = Direction.OUT,
+        min_hops: int = 1,
+        max_hops: int = 1,
+        path_constraint: PathConstraint = PathConstraint.ARBITRARY,
+        predicates: Sequence[Union[str, Expr]] = (),
+    ) -> "PatternSentenceBuilder":
+        """``EXPAND_PATH``: variable-length expansion of ``min_hops..max_hops`` edges."""
+        return self._start_edge(tag, alias, etype, direction, predicates, min_hops, max_hops, path_constraint)
+
+    def _start_edge(self, tag, alias, etype, direction, predicates, min_hops, max_hops, path_constraint):
+        if self._pending_edge is not None:
+            raise GirBuildError("previous expand_e has no matching get_v")
+        anchor = tag
+        if anchor is None:
+            if not self._pattern.vertex_names:
+                raise GirBuildError("expand_e requires a preceding get_v")
+            anchor = self._pattern.vertex_names[-1]
+        if not self._pattern.has_vertex(anchor):
+            raise GirBuildError("expand_e anchor %r is not a known pattern vertex" % (anchor,))
+        self._pending_edge = {
+            "anchor": anchor,
+            "alias": alias or self._fresh_edge_alias(),
+            "constraint": TypeConstraint.coerce(etype),
+            "direction": direction,
+            "predicates": tuple(_coerce_expr(p) for p in predicates),
+            "min_hops": min_hops,
+            "max_hops": max_hops,
+            "path_constraint": path_constraint,
+        }
+        return self
+
+    def pattern_end(self, semantics: str = "homomorphism") -> "PlanHandle":
+        """``MATCH_END``: finish the sentence and return a plan handle."""
+        if self._pending_edge is not None:
+            raise GirBuildError("pattern ended with a dangling expand_e step")
+        if not self._pattern.vertex_names:
+            raise GirBuildError("empty pattern")
+        op = MatchPatternOp(pattern=self._pattern, semantics=semantics)
+        return PlanHandle(self._ir_builder, op)
+
+    # -- helpers --------------------------------------------------------------
+    def _fresh_vertex_alias(self) -> str:
+        self._vertex_counter += 1
+        return "_v%d" % (self._vertex_counter,)
+
+    def _fresh_edge_alias(self) -> str:
+        self._edge_counter += 1
+        return "_e%d" % (self._edge_counter,)
+
+    # camelCase aliases matching the paper's snippet
+    getV = get_v
+    expandE = expand_e
+    expandPath = expand_path
+    patternEnd = pattern_end
+
+
+class PlanHandle:
+    """Fluent handle over a partially built logical plan."""
+
+    def __init__(self, ir_builder: "GraphIrBuilder", root: LogicalOperator):
+        self._ir_builder = ir_builder
+        self._root = root
+
+    @property
+    def root(self) -> LogicalOperator:
+        return self._root
+
+    def _chain(self, op: LogicalOperator) -> "PlanHandle":
+        return PlanHandle(self._ir_builder, op.with_inputs((self._root,)))
+
+    # -- relational operators ----------------------------------------------------
+    def select(self, predicate: Union[str, Expr]) -> "PlanHandle":
+        return self._chain(SelectOp(predicate=_coerce_expr(predicate)))
+
+    where = select
+
+    def project(
+        self,
+        items: Sequence[Union[str, Expr, Tuple[Union[str, Expr], str]]],
+        append: bool = False,
+    ) -> "PlanHandle":
+        project_items: List[ProjectItem] = []
+        for item in items:
+            if isinstance(item, tuple):
+                expr, alias = item
+                project_items.append(ProjectItem(_coerce_expr(expr), alias))
+            else:
+                expr, alias = _coerce_key_expr(item)
+                project_items.append(ProjectItem(expr, alias))
+        return self._chain(ProjectOp(items=tuple(project_items), append=append))
+
+    def group(
+        self,
+        keys: Sequence[Union[str, Expr]],
+        agg_func: Optional[AggregateFunction] = None,
+        alias: Optional[str] = None,
+        operand: Optional[Union[str, Expr]] = None,
+        aggregations: Optional[Sequence[Tuple[AggregateFunction, Optional[Union[str, Expr]], str]]] = None,
+    ) -> "PlanHandle":
+        key_items = tuple(ProjectItem(*_coerce_key_expr(k)) for k in keys)
+        calls: List[AggregateCall] = []
+        if aggregations:
+            for function, agg_operand, agg_alias in aggregations:
+                expr = _coerce_expr(agg_operand) if agg_operand is not None else None
+                calls.append(AggregateCall(function, expr, agg_alias))
+        if agg_func is not None:
+            if alias is None:
+                raise GirBuildError("group aggregation requires an alias")
+            expr = _coerce_expr(operand) if operand is not None else None
+            calls.append(AggregateCall(agg_func, expr, alias))
+        if not calls:
+            raise GirBuildError("group requires at least one aggregation")
+        return self._chain(GroupOp(keys=key_items, aggregations=tuple(calls)))
+
+    def order(
+        self,
+        keys: Sequence[Union[str, Expr, Tuple[Union[str, Expr], bool]]],
+        limit: Optional[int] = None,
+        ascending: bool = True,
+    ) -> "PlanHandle":
+        sort_keys: List[SortKey] = []
+        for key in keys:
+            if isinstance(key, tuple):
+                expr, asc = key
+                sort_keys.append(SortKey(_coerce_key_expr(expr)[0], asc))
+            else:
+                sort_keys.append(SortKey(_coerce_key_expr(key)[0], ascending))
+        return self._chain(OrderOp(keys=tuple(sort_keys), limit=limit))
+
+    def limit(self, count: int) -> "PlanHandle":
+        return self._chain(LimitOp(count=count))
+
+    def dedup(self, tags: Sequence[str] = ()) -> "PlanHandle":
+        return self._chain(DedupOp(tags=tuple(tags)))
+
+    # -- binary operators -----------------------------------------------------------
+    def join(
+        self,
+        other: "PlanHandle",
+        keys: Sequence[str],
+        join_type: JoinType = JoinType.INNER,
+    ) -> "PlanHandle":
+        op = JoinOp(keys=tuple(keys), join_type=join_type, inputs=(self._root, other._root))
+        return PlanHandle(self._ir_builder, op)
+
+    def union(self, other: "PlanHandle", distinct: bool = False) -> "PlanHandle":
+        op = UnionOp(distinct=distinct, inputs=(self._root, other._root))
+        return PlanHandle(self._ir_builder, op)
+
+    def match(self, other: "PlanHandle") -> "PlanHandle":
+        """Compose with another MATCH via a natural join on the common tags."""
+        left_tags = _output_tags(self._root)
+        right_tags = _output_tags(other._root)
+        common = sorted(left_tags & right_tags)
+        if not common:
+            raise GirBuildError("cannot compose MATCH clauses without common tags")
+        return self.join(other, keys=common, join_type=JoinType.INNER)
+
+    # -- finish -----------------------------------------------------------------------
+    def build(self) -> LogicalPlan:
+        """Return the logical plan rooted at the current operator."""
+        return LogicalPlan(self._root)
+
+    def explain(self) -> str:
+        return self.build().explain()
+
+
+def _output_tags(op: LogicalOperator):
+    if isinstance(op, MatchPatternOp):
+        return op.output_tags()
+    if isinstance(op, (ProjectOp, GroupOp)):
+        return op.output_tags()
+    tags = set()
+    for child in op.inputs:
+        tags |= _output_tags(child)
+    return tags
+
+
+class GraphIrBuilder:
+    """Entry point for constructing GIR logical plans language-independently."""
+
+    def pattern_start(self) -> PatternSentenceBuilder:
+        """Begin a pattern sentence (``MATCH_START``)."""
+        return PatternSentenceBuilder(self)
+
+    def match_pattern(self, pattern: PatternGraph, semantics: str = "homomorphism") -> PlanHandle:
+        """Wrap an explicitly constructed :class:`PatternGraph` as a plan leaf."""
+        if not pattern.vertex_names:
+            raise GirBuildError("empty pattern")
+        return PlanHandle(self, MatchPatternOp(pattern=pattern, semantics=semantics))
+
+    def join(
+        self,
+        left: PlanHandle,
+        right: PlanHandle,
+        keys: Sequence[str],
+        join_type: JoinType = JoinType.INNER,
+    ) -> PlanHandle:
+        return left.join(right, keys=keys, join_type=join_type)
+
+    def union(self, left: PlanHandle, right: PlanHandle, distinct: bool = False) -> PlanHandle:
+        return left.union(right, distinct=distinct)
+
+    # camelCase aliases matching the paper's snippet
+    patternStart = pattern_start
+    matchPattern = match_pattern

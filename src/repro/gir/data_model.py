@@ -1,0 +1,81 @@
+"""GIR data model: datatypes of intermediate-result fields (paper Section 5.1).
+
+Each operator consumes and produces tuples whose fields have a name and a
+designated datatype -- either graph-specific (Vertex, Edge, Path) or general
+(primitives and collections).  The model is deliberately lightweight: its job
+is to let the optimizer reason about which tags/fields flow through the plan
+(for ``FieldTrim``) and to let backends validate bindings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class DataType(enum.Enum):
+    """Datatypes assignable to fields of GIR intermediate results."""
+
+    VERTEX = "vertex"
+    EDGE = "edge"
+    PATH = "path"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    COLLECTION = "collection"
+    ANY = "any"
+
+    @property
+    def is_graph_type(self) -> bool:
+        return self in (DataType.VERTEX, DataType.EDGE, DataType.PATH)
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed field of an intermediate result."""
+
+    name: str
+    datatype: DataType = DataType.ANY
+
+    def __repr__(self) -> str:
+        return "%s:%s" % (self.name, self.datatype.value)
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """Ordered collection of fields describing an operator's output."""
+
+    fields: Tuple[Field, ...] = ()
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> Optional[Field]:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def with_field(self, field: Field) -> "RecordSchema":
+        """Add or replace a field by name."""
+        others = tuple(f for f in self.fields if f.name != field.name)
+        return RecordSchema(others + (field,))
+
+    def without(self, names) -> "RecordSchema":
+        drop = set(names)
+        return RecordSchema(tuple(f for f in self.fields if f.name not in drop))
+
+    def merge(self, other: "RecordSchema") -> "RecordSchema":
+        schema = self
+        for f in other.fields:
+            schema = schema.with_field(f)
+        return schema
+
+    def __contains__(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)

@@ -1,0 +1,299 @@
+"""Logical operators of the GIR (paper Section 5.1).
+
+Logical plans are DAGs of these operators.  Graph operators retrieve graph
+data (``MATCH_PATTERN`` encapsulating the ``GET_VERTEX`` / ``EXPAND_EDGE`` /
+``EXPAND_PATH`` steps between ``MATCH_START`` and ``MATCH_END``); relational
+operators are the usual RDBMS suspects applied to graph data.
+
+Operator nodes hold their inputs directly; :class:`repro.gir.plan.LogicalPlan`
+wraps the root and provides traversal/rewriting helpers for the optimizer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.gir.data_model import DataType, Field, RecordSchema
+from repro.gir.expressions import Expr, Property, TagRef
+from repro.gir.pattern import PatternGraph
+
+
+class JoinType(enum.Enum):
+    """Join semantics supported by the GIR ``JOIN`` operator."""
+
+    INNER = "inner"
+    LEFT_OUTER = "left_outer"
+    SEMI = "semi"
+    ANTI = "anti"
+
+
+class AggregateFunction(enum.Enum):
+    """Aggregation functions supported by ``GROUP``."""
+
+    COUNT = "count"
+    COUNT_DISTINCT = "count_distinct"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+    COLLECT = "collect"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """One aggregation: ``func(operand) AS alias`` (operand may be ``None`` for COUNT(*))."""
+
+    function: AggregateFunction
+    operand: Optional[Expr]
+    alias: str
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class ProjectItem:
+    """One PROJECT output column: ``expr AS alias``."""
+
+    expr: Expr
+    alias: str
+
+
+class LogicalOperator:
+    """Base class: every logical operator knows its inputs."""
+
+    inputs: Tuple["LogicalOperator", ...] = ()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Op", "").upper()
+
+    def with_inputs(self, inputs: Sequence["LogicalOperator"]) -> "LogicalOperator":
+        """Return a copy of this operator with different inputs."""
+        return replace(self, inputs=tuple(inputs))
+
+    def referenced_tags(self) -> Set[str]:
+        """Tags this operator reads from its input (used by FieldTrim)."""
+        return set()
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MatchPatternOp(LogicalOperator):
+    """``MATCH_PATTERN``: match a pattern graph against the data graph.
+
+    The operator is a plan leaf.  ``semantics`` records whether duplicate
+    edges must be removed afterwards (Cypher's no-repeated-edge semantics,
+    Remark 3.1); the optimizer plans under homomorphism and appends an
+    all-distinct step when needed.
+    """
+
+    pattern: PatternGraph
+    inputs: Tuple[LogicalOperator, ...] = ()
+    semantics: str = "homomorphism"
+
+    def referenced_tags(self) -> Set[str]:
+        tags: Set[str] = set()
+        for vertex in self.pattern.vertices:
+            for predicate in vertex.predicates:
+                tags |= predicate.referenced_tags()
+        for edge in self.pattern.edges:
+            for predicate in edge.predicates:
+                tags |= predicate.referenced_tags()
+        return tags
+
+    def output_tags(self) -> Set[str]:
+        return set(self.pattern.vertex_names) | set(self.pattern.edge_names)
+
+    def describe(self) -> str:
+        return "MATCH_PATTERN(%s)" % (", ".join(sorted(self.output_tags())),)
+
+
+@dataclass(frozen=True)
+class SelectOp(LogicalOperator):
+    """``SELECT``: keep tuples satisfying a predicate."""
+
+    predicate: Expr
+    inputs: Tuple[LogicalOperator, ...] = ()
+
+    def referenced_tags(self) -> Set[str]:
+        return self.predicate.referenced_tags()
+
+    def describe(self) -> str:
+        return "SELECT(%r)" % (self.predicate,)
+
+
+@dataclass(frozen=True)
+class ProjectOp(LogicalOperator):
+    """``PROJECT``: compute output columns; ``append`` keeps existing columns."""
+
+    items: Tuple[ProjectItem, ...]
+    append: bool = False
+    inputs: Tuple[LogicalOperator, ...] = ()
+
+    def referenced_tags(self) -> Set[str]:
+        tags: Set[str] = set()
+        for item in self.items:
+            tags |= item.expr.referenced_tags()
+        return tags
+
+    def output_tags(self) -> Set[str]:
+        return {item.alias for item in self.items}
+
+    def describe(self) -> str:
+        cols = ", ".join("%r AS %s" % (i.expr, i.alias) for i in self.items)
+        return "PROJECT(%s%s)" % (cols, ", append" if self.append else "")
+
+
+@dataclass(frozen=True)
+class JoinOp(LogicalOperator):
+    """``JOIN``: combine two sub-plans on equality of the given key tags."""
+
+    keys: Tuple[str, ...]
+    join_type: JoinType = JoinType.INNER
+    inputs: Tuple[LogicalOperator, ...] = ()
+
+    def referenced_tags(self) -> Set[str]:
+        return set(self.keys)
+
+    def describe(self) -> str:
+        return "JOIN(keys=%s, type=%s)" % (list(self.keys), self.join_type.value)
+
+
+@dataclass(frozen=True)
+class UnionOp(LogicalOperator):
+    """``UNION``: concatenate the results of two sub-plans.
+
+    ``common_subpattern`` is an optimizer annotation written by the
+    ``ComSubPattern`` rule: when both branches are pattern matches sharing a
+    subpattern, the physical planner matches the shared part once and reuses
+    its results for both branches.
+    """
+
+    distinct: bool = False
+    inputs: Tuple[LogicalOperator, ...] = ()
+    common_subpattern: Optional["PatternGraph"] = None
+
+    def describe(self) -> str:
+        shared = ", shared=%d edges" % self.common_subpattern.num_edges if self.common_subpattern else ""
+        return "UNION(%s%s)" % ("distinct" if self.distinct else "all", shared)
+
+
+@dataclass(frozen=True)
+class GroupOp(LogicalOperator):
+    """``GROUP``: group by key expressions and compute aggregations."""
+
+    keys: Tuple[ProjectItem, ...]
+    aggregations: Tuple[AggregateCall, ...]
+    inputs: Tuple[LogicalOperator, ...] = ()
+
+    def referenced_tags(self) -> Set[str]:
+        tags: Set[str] = set()
+        for key in self.keys:
+            tags |= key.expr.referenced_tags()
+        for agg in self.aggregations:
+            if agg.operand is not None:
+                tags |= agg.operand.referenced_tags()
+        return tags
+
+    def output_tags(self) -> Set[str]:
+        return {k.alias for k in self.keys} | {a.alias for a in self.aggregations}
+
+    def describe(self) -> str:
+        keys = ", ".join(k.alias for k in self.keys)
+        aggs = ", ".join("%s AS %s" % (a.function.value, a.alias) for a in self.aggregations)
+        return "GROUP(keys=[%s], aggs=[%s])" % (keys, aggs)
+
+
+@dataclass(frozen=True)
+class OrderOp(LogicalOperator):
+    """``ORDER``: sort by keys, optionally keeping only the first ``limit`` rows."""
+
+    keys: Tuple[SortKey, ...]
+    limit: Optional[int] = None
+    inputs: Tuple[LogicalOperator, ...] = ()
+
+    def referenced_tags(self) -> Set[str]:
+        tags: Set[str] = set()
+        for key in self.keys:
+            tags |= key.expr.referenced_tags()
+        return tags
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            "%r %s" % (k.expr, "asc" if k.ascending else "desc") for k in self.keys
+        )
+        limit = ", limit=%d" % self.limit if self.limit is not None else ""
+        return "ORDER(%s%s)" % (keys, limit)
+
+
+@dataclass(frozen=True)
+class LimitOp(LogicalOperator):
+    """``LIMIT``: keep the first ``count`` rows."""
+
+    count: int
+    inputs: Tuple[LogicalOperator, ...] = ()
+
+    def describe(self) -> str:
+        return "LIMIT(%d)" % (self.count,)
+
+
+@dataclass(frozen=True)
+class DedupOp(LogicalOperator):
+    """All-distinct filter over the given tags (Remark 3.1 semantics bridge)."""
+
+    tags: Tuple[str, ...] = ()
+    inputs: Tuple[LogicalOperator, ...] = ()
+
+    def referenced_tags(self) -> Set[str]:
+        return set(self.tags)
+
+    def describe(self) -> str:
+        return "DEDUP(%s)" % (", ".join(self.tags) if self.tags else "*",)
+
+
+def infer_output_schema(op: LogicalOperator) -> RecordSchema:
+    """Best-effort output schema of a logical operator (for docs and validation)."""
+    if isinstance(op, MatchPatternOp):
+        fields = [Field(v, DataType.VERTEX) for v in op.pattern.vertex_names]
+        fields += [
+            Field(e.name, DataType.PATH if e.is_path else DataType.EDGE)
+            for e in op.pattern.edges
+        ]
+        return RecordSchema(tuple(fields))
+    if isinstance(op, ProjectOp):
+        fields = tuple(Field(item.alias, _expr_type(item.expr)) for item in op.items)
+        if op.append and op.inputs:
+            return infer_output_schema(op.inputs[0]).merge(RecordSchema(fields))
+        return RecordSchema(fields)
+    if isinstance(op, GroupOp):
+        fields = tuple(Field(k.alias, _expr_type(k.expr)) for k in op.keys) + tuple(
+            Field(a.alias, DataType.INTEGER if a.function == AggregateFunction.COUNT else DataType.ANY)
+            for a in op.aggregations
+        )
+        return RecordSchema(fields)
+    if isinstance(op, (JoinOp, UnionOp)):
+        schema = RecordSchema()
+        for child in op.inputs:
+            schema = schema.merge(infer_output_schema(child))
+        return schema
+    if op.inputs:
+        return infer_output_schema(op.inputs[0])
+    return RecordSchema()
+
+
+def _expr_type(expr: Expr) -> DataType:
+    if isinstance(expr, TagRef):
+        return DataType.ANY
+    if isinstance(expr, Property):
+        return DataType.ANY
+    return DataType.ANY

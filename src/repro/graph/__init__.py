@@ -1,0 +1,29 @@
+"""Typed property-graph substrate used by every other subsystem.
+
+The module provides the data-graph side of the paper's preliminaries
+(Section 3): a property graph ``G = (V_G, E_G)`` where each vertex and edge
+carries a type and a property map, plus the graph schema used by the type
+checker and the statistics collector.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.partition import GraphPartitioner
+from repro.graph.property_graph import Edge, PropertyGraph, Vertex
+from repro.graph.schema import EdgeTypeDef, GraphSchema, VertexTypeDef
+from repro.graph.types import AllType, BasicType, Direction, TypeConstraint, UnionType
+
+__all__ = [
+    "PropertyGraph",
+    "Vertex",
+    "Edge",
+    "GraphBuilder",
+    "GraphPartitioner",
+    "GraphSchema",
+    "VertexTypeDef",
+    "EdgeTypeDef",
+    "TypeConstraint",
+    "BasicType",
+    "UnionType",
+    "AllType",
+    "Direction",
+]

@@ -1,0 +1,198 @@
+"""Type constraints and directions (paper Section 3).
+
+A pattern vertex or edge carries a *type constraint* ``tau_P(v)`` which can be
+
+* ``BasicType`` -- exactly one concrete type,
+* ``UnionType`` -- a set of acceptable types, or
+* ``AllType``   -- any type in the data graph.
+
+The optimizer additionally needs an *empty* constraint (no type can match) to
+signal that type inference found the pattern INVALID; ``TypeConstraint`` keeps
+all four states in one small immutable value object.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, Optional
+
+
+class Direction(enum.Enum):
+    """Direction of an edge expansion relative to its anchor vertex."""
+
+    OUT = "out"
+    IN = "in"
+    BOTH = "both"
+
+    def reverse(self) -> "Direction":
+        """Return the opposite direction (``BOTH`` is its own reverse)."""
+        if self is Direction.OUT:
+            return Direction.IN
+        if self is Direction.IN:
+            return Direction.OUT
+        return Direction.BOTH
+
+
+class TypeConstraint:
+    """Immutable set-of-types constraint with an explicit ``AllType`` state.
+
+    Internally ``None`` represents *all types* and a ``frozenset`` represents
+    an explicit (possibly empty) set of type names.
+    """
+
+    __slots__ = ("_types",)
+
+    def __init__(self, types: Optional[Iterable[str]] = None):
+        if types is None:
+            self._types: Optional[FrozenSet[str]] = None
+        else:
+            self._types = frozenset(str(t) for t in types)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def basic(cls, name: str) -> "TypeConstraint":
+        """Constraint matching exactly one type."""
+        return cls([name])
+
+    @classmethod
+    def union(cls, names: Iterable[str]) -> "TypeConstraint":
+        """Constraint matching any of the given types."""
+        return cls(names)
+
+    @classmethod
+    def all_types(cls) -> "TypeConstraint":
+        """Constraint matching every type in the data graph."""
+        return cls(None)
+
+    @classmethod
+    def empty(cls) -> "TypeConstraint":
+        """Constraint matching nothing (used to flag INVALID inference)."""
+        return cls(())
+
+    @classmethod
+    def coerce(cls, value) -> "TypeConstraint":
+        """Coerce ``None`` / str / iterable / TypeConstraint into a constraint."""
+        if value is None:
+            return cls.all_types()
+        if isinstance(value, TypeConstraint):
+            return value
+        if isinstance(value, str):
+            return cls.basic(value)
+        return cls.union(value)
+
+    # -- classification ---------------------------------------------------
+    @property
+    def is_all(self) -> bool:
+        return self._types is None
+
+    @property
+    def is_empty(self) -> bool:
+        return self._types is not None and len(self._types) == 0
+
+    @property
+    def is_basic(self) -> bool:
+        return self._types is not None and len(self._types) == 1
+
+    @property
+    def is_union(self) -> bool:
+        return self._types is not None and len(self._types) > 1
+
+    @property
+    def types(self) -> Optional[FrozenSet[str]]:
+        """The explicit type set, or ``None`` for an ``AllType`` constraint."""
+        return self._types
+
+    @property
+    def single_type(self) -> str:
+        """The sole type of a ``BasicType`` constraint."""
+        if not self.is_basic:
+            raise ValueError("constraint %r is not a BasicType" % (self,))
+        return next(iter(self._types))
+
+    # -- set operations ---------------------------------------------------
+    def contains(self, type_name: str) -> bool:
+        """Whether a concrete data type satisfies this constraint."""
+        if self._types is None:
+            return True
+        return type_name in self._types
+
+    def intersect(self, other) -> "TypeConstraint":
+        """Intersect with another constraint or an iterable of type names."""
+        other = TypeConstraint.coerce(other)
+        if self._types is None:
+            return other
+        if other._types is None:
+            return self
+        return TypeConstraint(self._types & other._types)
+
+    def union_with(self, other) -> "TypeConstraint":
+        """Union with another constraint or an iterable of type names."""
+        other = TypeConstraint.coerce(other)
+        if self._types is None or other._types is None:
+            return TypeConstraint.all_types()
+        return TypeConstraint(self._types | other._types)
+
+    def resolve(self, universe: Iterable[str]) -> FrozenSet[str]:
+        """Expand the constraint against the full set of known types."""
+        if self._types is None:
+            return frozenset(universe)
+        return self._types
+
+    def cardinality(self, universe_size: Optional[int] = None) -> int:
+        """Number of concrete types admitted (needs ``universe_size`` for All)."""
+        if self._types is not None:
+            return len(self._types)
+        if universe_size is None:
+            raise ValueError("AllType cardinality requires the universe size")
+        return universe_size
+
+    # -- dunder -----------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TypeConstraint) and self._types == other._types
+
+    def __hash__(self) -> int:
+        return hash(self._types)
+
+    def __iter__(self):
+        if self._types is None:
+            raise TypeError("cannot iterate an AllType constraint")
+        return iter(sorted(self._types))
+
+    def __len__(self) -> int:
+        if self._types is None:
+            raise TypeError("AllType constraint has no finite length")
+        return len(self._types)
+
+    def __repr__(self) -> str:
+        if self._types is None:
+            return "AllType()"
+        if self.is_empty:
+            return "EmptyType()"
+        if self.is_basic:
+            return "BasicType(%r)" % (self.single_type,)
+        return "UnionType(%s)" % (", ".join(repr(t) for t in sorted(self._types)),)
+
+    def label(self) -> str:
+        """Short human-readable form used in plan explanations."""
+        if self._types is None:
+            return "*"
+        if self.is_empty:
+            return "∅"
+        return "|".join(sorted(self._types))
+
+
+def BasicType(name: str) -> TypeConstraint:  # noqa: N802 - paper-facing API name
+    """Paper-facing constructor for a single-type constraint."""
+    return TypeConstraint.basic(name)
+
+
+def UnionType(*names) -> TypeConstraint:  # noqa: N802 - paper-facing API name
+    """Paper-facing constructor: ``UnionType("Post", "Comment")`` or a single iterable."""
+    if len(names) == 1 and not isinstance(names[0], str):
+        return TypeConstraint.union(names[0])
+    return TypeConstraint.union(names)
+
+
+def AllType() -> TypeConstraint:  # noqa: N802 - paper-facing API name
+    """Paper-facing constructor for the unconstrained type."""
+    return TypeConstraint.all_types()

@@ -1,0 +1,18 @@
+"""Query-language front-ends (paper Section 5.2).
+
+Each front-end parses query text into an AST and lowers it to the unified GIR
+via the ``GraphIrBuilder``, decoupling the optimizer from any particular query
+language.  Two languages are supported, mirroring the paper:
+
+* :mod:`repro.lang.cypher` -- the Cypher fragment used by the LDBC workloads
+  (MATCH / WHERE / WITH / RETURN / ORDER BY / LIMIT / UNION, variable-length
+  relationships, aggregation);
+* :mod:`repro.lang.gremlin` -- the Gremlin traversal fragment used in the
+  paper's examples (``g.V().match(...)``, ``out``/``in``, ``has``/``hasLabel``,
+  ``group``/``groupCount``, ``order``, ``limit``, ``values``, ``select``).
+"""
+
+from repro.lang.cypher import parse_cypher, cypher_to_gir
+from repro.lang.gremlin import parse_gremlin, gremlin_to_gir
+
+__all__ = ["parse_cypher", "cypher_to_gir", "parse_gremlin", "gremlin_to_gir"]

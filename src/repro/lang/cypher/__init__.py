@@ -1,0 +1,6 @@
+"""Cypher front-end: parser and GIR lowering."""
+
+from repro.lang.cypher.parser import parse_cypher
+from repro.lang.cypher.to_gir import cypher_to_gir
+
+__all__ = ["parse_cypher", "cypher_to_gir"]

@@ -1,0 +1,97 @@
+"""AST node types for the Cypher fragment supported by the front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.gir.expressions import Expr
+
+
+@dataclass
+class NodePattern:
+    """``(alias:Label1|Label2 {prop: value, ...})``."""
+
+    alias: Optional[str]
+    labels: Tuple[str, ...] = ()
+    properties: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass
+class RelPattern:
+    """``-[alias:TYPE1|TYPE2*min..max {prop: value}]->`` (direction included)."""
+
+    alias: Optional[str]
+    types: Tuple[str, ...] = ()
+    direction: str = "out"          # "out", "in" or "both"
+    min_hops: int = 1
+    max_hops: int = 1
+    is_path: bool = False
+    properties: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass
+class PathPattern:
+    """An alternating chain node-rel-node-rel-...-node."""
+
+    nodes: List[NodePattern]
+    relationships: List[RelPattern]
+
+
+@dataclass
+class MatchClause:
+    """``MATCH <pattern> [, <pattern>...] [WHERE <expr>]`` (optional ``OPTIONAL``)."""
+
+    patterns: List[PathPattern]
+    where: Optional[Expr] = None
+    optional: bool = False
+
+
+@dataclass
+class ReturnItem:
+    """``expr [AS alias]``."""
+
+    expression: Expr
+    alias: Optional[str] = None
+    aggregate: Optional[str] = None     # count/sum/min/max/avg/collect
+    distinct: bool = False
+
+
+@dataclass
+class OrderItem:
+    expression: Expr
+    ascending: bool = True
+
+
+@dataclass
+class WithClause:
+    """``WITH [DISTINCT] items [WHERE expr] [ORDER BY ...] [LIMIT n]``."""
+
+    items: List[ReturnItem]
+    distinct: bool = False
+    where: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+
+@dataclass
+class ReturnClause:
+    items: List[ReturnItem]
+    distinct: bool = False
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+
+@dataclass
+class SingleQuery:
+    """One query part: MATCH* (WITH MATCH*)* RETURN."""
+
+    clauses: List[object] = field(default_factory=list)
+
+
+@dataclass
+class CypherQuery:
+    """One or more single queries combined with UNION [ALL]."""
+
+    parts: List[SingleQuery]
+    union_all: bool = True

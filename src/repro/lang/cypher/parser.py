@@ -1,0 +1,526 @@
+"""Recursive-descent parser for the Cypher fragment used by the workloads.
+
+Supported surface (sufficient for the paper's LDBC-style CGPs):
+
+* ``MATCH`` clauses with comma-separated path patterns, node labels
+  (``:A`` / ``:A|B``), relationship types, both directions, inline property
+  maps (``{k: v}``) and variable-length relationships (``*k`` / ``*a..b``);
+* ``WHERE`` with boolean / comparison / ``IN`` expressions;
+* ``WITH`` and ``RETURN`` with aliases, ``DISTINCT`` and the aggregates
+  ``count`` / ``sum`` / ``min`` / ``max`` / ``avg`` / ``collect``;
+* ``ORDER BY ... [ASC|DESC]``, ``LIMIT``;
+* ``UNION [ALL]`` between single queries;
+* ``$param`` placeholders substituted from a parameter dictionary.
+
+The parser produces the AST of :mod:`repro.lang.cypher.ast`; lowering to GIR
+lives in :mod:`repro.lang.cypher.to_gir`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.gir.expressions import Expr, FunctionCall, parse_expression
+from repro.lang.cypher.ast import (
+    CypherQuery,
+    MatchClause,
+    NodePattern,
+    OrderItem,
+    PathPattern,
+    RelPattern,
+    ReturnClause,
+    ReturnItem,
+    SingleQuery,
+    WithClause,
+)
+
+_KEYWORDS = {
+    "MATCH", "OPTIONAL", "WHERE", "WITH", "RETURN", "ORDER", "BY", "LIMIT", "SKIP",
+    "UNION", "ALL", "AS", "DISTINCT", "ASC", "DESC", "AND", "OR", "NOT", "IN",
+}
+_AGGREGATES = {"count", "sum", "min", "max", "avg", "collect"}
+_CLAUSE_BOUNDARIES = {"MATCH", "OPTIONAL", "WHERE", "WITH", "RETURN", "ORDER", "LIMIT", "SKIP", "UNION"}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "start", "end")
+
+    def __init__(self, kind: str, value: str, start: int, end: int):
+        self.kind = kind
+        self.value = value
+        self.start = start
+        self.end = end
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "'\"":
+            j = i + 1
+            while j < length and text[j] != ch:
+                j += 1
+            if j >= length:
+                raise ParseError("unterminated string literal", position=i, text=text)
+            tokens.append(_Token("STRING", text[i:j + 1], i, j + 1))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < length and (text[j].isdigit() or text[j] == "."):
+                # ".." (hop range) must not be swallowed by a number
+                if text[j] == "." and j + 1 < length and text[j + 1] == ".":
+                    break
+                j += 1
+            tokens.append(_Token("NUMBER", text[i:j], i, j))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "KEYWORD" if word.upper() in _KEYWORDS else "IDENT"
+            value = word.upper() if kind == "KEYWORD" else word
+            tokens.append(_Token(kind, value, i, j))
+            i = j
+            continue
+        two = text[i:i + 2]
+        if two in ("->", "<-", "..", ">=", "<=", "<>", "!="):
+            tokens.append(_Token("OP", two, i, i + 2))
+            i += 2
+            continue
+        if ch in "()[]{},:.|-<>=*+/%$":
+            tokens.append(_Token("OP", ch, i, i + 1))
+            i += 1
+            continue
+        raise ParseError("unexpected character %r" % (ch,), position=i, text=text)
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, text: str, tokens: List[_Token]):
+        self.text = text
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        pos = self.index + offset
+        if pos < len(self.tokens):
+            return self.tokens[pos]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query", text=self.text)
+        self.index += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "KEYWORD" and token.value in keywords
+
+    def at_op(self, *ops: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "OP" and token.value in ops
+
+    def expect_keyword(self, keyword: str) -> _Token:
+        token = self.next()
+        if token.kind != "KEYWORD" or token.value != keyword:
+            raise ParseError("expected %s but found %r" % (keyword, token.value),
+                             position=token.start, text=self.text)
+        return token
+
+    def expect_op(self, op: str) -> _Token:
+        token = self.next()
+        if token.kind != "OP" or token.value != op:
+            raise ParseError("expected %r but found %r" % (op, token.value),
+                             position=token.start, text=self.text)
+        return token
+
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _substitute_parameters(query: str, parameters: Optional[Dict[str, object]]) -> str:
+    parameters = parameters or {}
+
+    def replace(match: re.Match) -> str:
+        name = match.group(1)
+        if name not in parameters:
+            raise ParseError("missing value for parameter $%s" % (name,), text=query)
+        value = parameters[name]
+        if isinstance(value, str):
+            return _quote(value)
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return "[%s]" % ", ".join(
+                _quote(v) if isinstance(v, str) else repr(v) for v in value
+            )
+        return repr(value)
+
+    return re.sub(r"\$([A-Za-z_][A-Za-z_0-9]*)", replace, query)
+
+
+def _quote(value: str) -> str:
+    """Quote a string parameter; neither tokenizer supports escape sequences,
+    so a value containing single quotes is emitted in double quotes."""
+    if "'" in value:
+        return '"%s"' % value.replace('"', "")
+    return "'%s'" % value
+
+
+def parse_cypher(query: str, parameters: Optional[Dict[str, object]] = None) -> CypherQuery:
+    """Parse Cypher text (with optional ``$param`` substitution) into an AST."""
+    query = _substitute_parameters(query, parameters)
+    tokens = _tokenize(query)
+    cursor = _Cursor(query, tokens)
+    parts: List[SingleQuery] = []
+    union_all = True
+    parts.append(_parse_single_query(cursor))
+    while cursor.at_keyword("UNION"):
+        cursor.next()
+        if cursor.at_keyword("ALL"):
+            cursor.next()
+            union_all = True
+        else:
+            union_all = False
+        parts.append(_parse_single_query(cursor))
+    if not cursor.exhausted():
+        token = cursor.peek()
+        raise ParseError("unexpected trailing input %r" % (token.value,),
+                         position=token.start, text=query)
+    return CypherQuery(parts=parts, union_all=union_all)
+
+
+def _parse_single_query(cursor: _Cursor) -> SingleQuery:
+    clauses: List[object] = []
+    while True:
+        if cursor.at_keyword("OPTIONAL"):
+            cursor.next()
+            cursor.expect_keyword("MATCH")
+            clauses.append(_parse_match(cursor, optional=True))
+        elif cursor.at_keyword("MATCH"):
+            cursor.next()
+            clauses.append(_parse_match(cursor, optional=False))
+        elif cursor.at_keyword("WITH"):
+            cursor.next()
+            clauses.append(_parse_with(cursor))
+        elif cursor.at_keyword("RETURN"):
+            cursor.next()
+            clauses.append(_parse_return(cursor))
+            break
+        else:
+            break
+    if not clauses:
+        raise ParseError("query has no clauses", text=cursor.text)
+    return SingleQuery(clauses=clauses)
+
+
+# -- clause parsing --------------------------------------------------------------
+
+def _parse_match(cursor: _Cursor, optional: bool) -> MatchClause:
+    patterns = [_parse_path_pattern(cursor)]
+    while cursor.at_op(","):
+        cursor.next()
+        patterns.append(_parse_path_pattern(cursor))
+    where = None
+    if cursor.at_keyword("WHERE"):
+        cursor.next()
+        where = _parse_embedded_expression(cursor)
+    return MatchClause(patterns=patterns, where=where, optional=optional)
+
+
+def _parse_path_pattern(cursor: _Cursor) -> PathPattern:
+    nodes = [_parse_node(cursor)]
+    relationships: List[RelPattern] = []
+    while cursor.at_op("-", "<-", "<"):
+        relationships.append(_parse_relationship(cursor))
+        nodes.append(_parse_node(cursor))
+    return PathPattern(nodes=nodes, relationships=relationships)
+
+
+def _parse_node(cursor: _Cursor) -> NodePattern:
+    cursor.expect_op("(")
+    alias = None
+    labels: Tuple[str, ...] = ()
+    properties: Tuple[Tuple[str, object], ...] = ()
+    token = cursor.peek()
+    if token is not None and token.kind == "IDENT":
+        alias = cursor.next().value
+    if cursor.at_op(":"):
+        cursor.next()
+        labels = _parse_label_union(cursor)
+    if cursor.at_op("{"):
+        properties = _parse_property_map(cursor)
+    cursor.expect_op(")")
+    return NodePattern(alias=alias, labels=labels, properties=properties)
+
+
+def _parse_label_union(cursor: _Cursor) -> Tuple[str, ...]:
+    labels = []
+    token = cursor.next()
+    if token.kind not in ("IDENT", "KEYWORD"):
+        raise ParseError("expected a label name", position=token.start, text=cursor.text)
+    labels.append(token.value)
+    while cursor.at_op("|"):
+        cursor.next()
+        token = cursor.next()
+        if token.kind not in ("IDENT", "KEYWORD"):
+            raise ParseError("expected a label name", position=token.start, text=cursor.text)
+        labels.append(token.value)
+    return tuple(labels)
+
+
+def _parse_property_map(cursor: _Cursor) -> Tuple[Tuple[str, object], ...]:
+    cursor.expect_op("{")
+    entries: List[Tuple[str, object]] = []
+    while not cursor.at_op("}"):
+        key_token = cursor.next()
+        if key_token.kind != "IDENT":
+            raise ParseError("expected a property name", position=key_token.start, text=cursor.text)
+        cursor.expect_op(":")
+        value_token = cursor.next()
+        entries.append((key_token.value, _literal_value(value_token, cursor)))
+        if cursor.at_op(","):
+            cursor.next()
+    cursor.expect_op("}")
+    return tuple(entries)
+
+
+def _literal_value(token: _Token, cursor: _Cursor) -> object:
+    if token.kind == "STRING":
+        return token.value[1:-1]
+    if token.kind == "NUMBER":
+        return float(token.value) if "." in token.value else int(token.value)
+    if token.kind == "OP" and token.value == "[":
+        values = []
+        while not cursor.at_op("]"):
+            values.append(_literal_value(cursor.next(), cursor))
+            if cursor.at_op(","):
+                cursor.next()
+        cursor.expect_op("]")
+        return tuple(values)
+    raise ParseError("expected a literal value", position=token.start, text=cursor.text)
+
+
+def _parse_relationship(cursor: _Cursor) -> RelPattern:
+    direction = "out"
+    incoming = False
+    if cursor.at_op("<-"):
+        cursor.next()
+        incoming = True
+    elif cursor.at_op("<"):
+        cursor.next()
+        cursor.expect_op("-")
+        incoming = True
+    else:
+        cursor.expect_op("-")
+
+    alias = None
+    types: Tuple[str, ...] = ()
+    min_hops, max_hops, is_path = 1, 1, False
+    properties: Tuple[Tuple[str, object], ...] = ()
+    if cursor.at_op("["):
+        cursor.next()
+        token = cursor.peek()
+        if token is not None and token.kind == "IDENT":
+            alias = cursor.next().value
+        if cursor.at_op(":"):
+            cursor.next()
+            types = _parse_label_union(cursor)
+        if cursor.at_op("*"):
+            cursor.next()
+            is_path = True
+            min_hops, max_hops = _parse_hop_range(cursor)
+        if cursor.at_op("{"):
+            properties = _parse_property_map(cursor)
+        cursor.expect_op("]")
+
+    if incoming:
+        cursor.expect_op("-")
+        direction = "in"
+    else:
+        if cursor.at_op("->"):
+            cursor.next()
+            direction = "out"
+        elif cursor.at_op("-"):
+            cursor.next()
+            direction = "both"
+        else:
+            token = cursor.peek()
+            raise ParseError("expected '->' or '-' after relationship",
+                             position=token.start if token else None, text=cursor.text)
+    return RelPattern(alias=alias, types=types, direction=direction,
+                      min_hops=min_hops, max_hops=max_hops, is_path=is_path,
+                      properties=properties)
+
+
+def _parse_hop_range(cursor: _Cursor) -> Tuple[int, int]:
+    min_hops, max_hops = 1, 4
+    token = cursor.peek()
+    if token is not None and token.kind == "NUMBER":
+        cursor.next()
+        min_hops = int(token.value)
+        max_hops = min_hops
+    if cursor.at_op(".."):
+        cursor.next()
+        token = cursor.peek()
+        if token is not None and token.kind == "NUMBER":
+            cursor.next()
+            max_hops = int(token.value)
+        else:
+            max_hops = max(min_hops, 4)
+    return min_hops, max_hops
+
+
+# -- projection clauses ------------------------------------------------------------
+
+def _parse_with(cursor: _Cursor) -> WithClause:
+    distinct = False
+    if cursor.at_keyword("DISTINCT"):
+        cursor.next()
+        distinct = True
+    items = _parse_items(cursor)
+    where = None
+    if cursor.at_keyword("WHERE"):
+        cursor.next()
+        where = _parse_embedded_expression(cursor)
+    order_by, limit = _parse_order_limit(cursor)
+    return WithClause(items=items, distinct=distinct, where=where,
+                      order_by=order_by, limit=limit)
+
+
+def _parse_return(cursor: _Cursor) -> ReturnClause:
+    distinct = False
+    if cursor.at_keyword("DISTINCT"):
+        cursor.next()
+        distinct = True
+    items = _parse_items(cursor)
+    order_by, limit = _parse_order_limit(cursor)
+    return ReturnClause(items=items, distinct=distinct, order_by=order_by, limit=limit)
+
+
+def _parse_order_limit(cursor: _Cursor) -> Tuple[List[OrderItem], Optional[int]]:
+    order_by: List[OrderItem] = []
+    limit: Optional[int] = None
+    if cursor.at_keyword("ORDER"):
+        cursor.next()
+        cursor.expect_keyword("BY")
+        order_by.append(_parse_order_item(cursor))
+        while cursor.at_op(","):
+            cursor.next()
+            order_by.append(_parse_order_item(cursor))
+    if cursor.at_keyword("SKIP"):
+        cursor.next()
+        cursor.next()  # the skip count (ignored: not needed by the workloads)
+    if cursor.at_keyword("LIMIT"):
+        cursor.next()
+        token = cursor.next()
+        if token.kind != "NUMBER":
+            raise ParseError("LIMIT expects a number", position=token.start, text=cursor.text)
+        limit = int(token.value)
+    return order_by, limit
+
+
+def _parse_order_item(cursor: _Cursor) -> OrderItem:
+    text = _collect_expression_text(cursor, stop_keywords={"ASC", "DESC", "LIMIT", "SKIP", "UNION"},
+                                    stop_at_comma=True)
+    ascending = True
+    if cursor.at_keyword("ASC"):
+        cursor.next()
+    elif cursor.at_keyword("DESC"):
+        cursor.next()
+        ascending = False
+    return OrderItem(expression=_parse_item_expression(text)[0], ascending=ascending)
+
+
+def _parse_items(cursor: _Cursor) -> List[ReturnItem]:
+    items: List[ReturnItem] = []
+    while True:
+        text = _collect_expression_text(
+            cursor,
+            stop_keywords={"AS", "WHERE", "ORDER", "LIMIT", "SKIP", "UNION", "MATCH", "RETURN", "WITH", "OPTIONAL"},
+            stop_at_comma=True,
+        )
+        alias = None
+        if cursor.at_keyword("AS"):
+            cursor.next()
+            alias_token = cursor.next()
+            alias = alias_token.value
+        expr, aggregate, distinct = _parse_item_expression(text)
+        items.append(ReturnItem(expression=expr, alias=alias, aggregate=aggregate, distinct=distinct))
+        if cursor.at_op(","):
+            cursor.next()
+            continue
+        break
+    return items
+
+
+def _parse_item_expression(text: str) -> Tuple[Expr, Optional[str], bool]:
+    """Parse one projection item; returns (expr, aggregate function, distinct)."""
+    stripped = text.strip()
+    distinct = False
+    match = re.match(r"(?is)^(count|sum|min|max|avg|collect)\s*\(\s*distinct\b(.*)\)\s*$", stripped)
+    if match:
+        distinct = True
+        stripped = "%s(%s)" % (match.group(1), match.group(2))
+    if re.match(r"(?is)^count\s*\(\s*\*\s*\)$", stripped):
+        return FunctionCall("count", ()), "count", distinct
+    expr = parse_expression(stripped)
+    aggregate = None
+    if isinstance(expr, FunctionCall) and expr.name.lower() in _AGGREGATES:
+        aggregate = expr.name.lower()
+    return expr, aggregate, distinct
+
+
+# -- expression text extraction -------------------------------------------------------
+
+def _collect_expression_text(cursor: _Cursor, stop_keywords, stop_at_comma: bool) -> str:
+    depth = 0
+    start_token = cursor.peek()
+    if start_token is None:
+        raise ParseError("expected an expression", text=cursor.text)
+    start = start_token.start
+    end = start
+    while True:
+        token = cursor.peek()
+        if token is None:
+            break
+        if token.kind == "OP" and token.value in "([{":
+            depth += 1
+        elif token.kind == "OP" and token.value in ")]}":
+            if depth == 0:
+                break
+            depth -= 1
+        elif depth == 0:
+            if stop_at_comma and token.kind == "OP" and token.value == ",":
+                break
+            if token.kind == "KEYWORD" and token.value in stop_keywords:
+                break
+            if token.kind == "KEYWORD" and token.value in _CLAUSE_BOUNDARIES:
+                break
+        end = token.end
+        cursor.next()
+    if end <= start:
+        raise ParseError("empty expression", position=start, text=cursor.text)
+    return cursor.text[start:end]
+
+
+def _parse_embedded_expression(cursor: _Cursor) -> Expr:
+    text = _collect_expression_text(
+        cursor,
+        stop_keywords={"MATCH", "OPTIONAL", "WITH", "RETURN", "ORDER", "LIMIT", "SKIP", "UNION"},
+        stop_at_comma=False,
+    )
+    return parse_expression(text)

@@ -1,0 +1,234 @@
+"""Lower Cypher ASTs to GIR logical plans via the GraphIrBuilder."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.gir.builder import GraphIrBuilder, PlanHandle
+from repro.gir.expressions import BinaryOp, Expr, FunctionCall, Literal, Property, TagRef
+from repro.gir.operators import AggregateFunction, JoinType
+from repro.gir.pattern import PatternGraph
+from repro.gir.plan import LogicalPlan
+from repro.graph.types import TypeConstraint
+from repro.lang.cypher.ast import (
+    CypherQuery,
+    MatchClause,
+    OrderItem,
+    PathPattern,
+    ReturnClause,
+    ReturnItem,
+    SingleQuery,
+    WithClause,
+)
+from repro.lang.cypher.parser import parse_cypher
+
+_AGGREGATE_FUNCTIONS = {
+    "count": AggregateFunction.COUNT,
+    "sum": AggregateFunction.SUM,
+    "min": AggregateFunction.MIN,
+    "max": AggregateFunction.MAX,
+    "avg": AggregateFunction.AVG,
+    "collect": AggregateFunction.COLLECT,
+}
+
+
+class _NameGenerator:
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def fresh(self, prefix: str) -> str:
+        self._counts[prefix] = self._counts.get(prefix, 0) + 1
+        return "_%s%d" % (prefix, self._counts[prefix])
+
+
+def cypher_to_gir(query: str, parameters: Optional[Dict[str, object]] = None) -> LogicalPlan:
+    """Parse Cypher text and lower it to a GIR logical plan."""
+    ast = parse_cypher(query, parameters)
+    return lower_cypher_ast(ast)
+
+
+def lower_cypher_ast(ast: CypherQuery) -> LogicalPlan:
+    builder = GraphIrBuilder()
+    handles = [_lower_single_query(builder, part) for part in ast.parts]
+    handle = handles[0]
+    for other in handles[1:]:
+        handle = handle.union(other, distinct=not ast.union_all)
+    return handle.build()
+
+
+# -- single query -------------------------------------------------------------------
+
+def _lower_single_query(builder: GraphIrBuilder, part: SingleQuery) -> PlanHandle:
+    names = _NameGenerator()
+    handle: Optional[PlanHandle] = None
+    for clause in part.clauses:
+        if isinstance(clause, MatchClause):
+            handle = _apply_match(builder, handle, clause, names)
+        elif isinstance(clause, WithClause):
+            handle = _apply_projection(handle, clause.items, clause.distinct,
+                                       clause.where, clause.order_by, clause.limit)
+        elif isinstance(clause, ReturnClause):
+            handle = _apply_projection(handle, clause.items, clause.distinct,
+                                       None, clause.order_by, clause.limit)
+        else:
+            raise ParseError("unsupported clause %r" % (clause,))
+    if handle is None:
+        raise ParseError("query produced no plan")
+    return handle
+
+
+def _apply_match(
+    builder: GraphIrBuilder,
+    handle: Optional[PlanHandle],
+    clause: MatchClause,
+    names: _NameGenerator,
+) -> PlanHandle:
+    pattern = _build_pattern(clause.patterns, names)
+    match_handle = builder.match_pattern(pattern, semantics="no_repeated_edge")
+    if handle is None:
+        combined = match_handle
+    else:
+        left_tags = _handle_tags(handle)
+        right_tags = set(pattern.vertex_names) | set(pattern.edge_names)
+        common = sorted(left_tags & right_tags)
+        if not common:
+            raise ParseError("MATCH clause shares no variables with the preceding clauses")
+        join_type = JoinType.LEFT_OUTER if clause.optional else JoinType.INNER
+        combined = handle.join(match_handle, keys=common, join_type=join_type)
+    if clause.where is not None:
+        combined = combined.select(clause.where)
+    return combined
+
+
+def _handle_tags(handle: PlanHandle) -> set:
+    from repro.gir.builder import _output_tags
+
+    return set(_output_tags(handle.root))
+
+
+def _build_pattern(paths: List[PathPattern], names: _NameGenerator) -> PatternGraph:
+    pattern = PatternGraph()
+    for path in paths:
+        node_aliases: List[str] = []
+        for node in path.nodes:
+            alias = node.alias or names.fresh("v")
+            constraint = TypeConstraint.union(node.labels) if node.labels else TypeConstraint.all_types()
+            predicates = [
+                BinaryOp("=", Property(alias, key), Literal(value))
+                for key, value in node.properties
+            ]
+            pattern.add_vertex(alias, constraint, predicates)
+            node_aliases.append(alias)
+        for index, rel in enumerate(path.relationships):
+            alias = rel.alias or names.fresh("e")
+            constraint = TypeConstraint.union(rel.types) if rel.types else TypeConstraint.all_types()
+            predicates = [
+                BinaryOp("=", Property(alias, key), Literal(value))
+                for key, value in rel.properties
+            ]
+            left, right = node_aliases[index], node_aliases[index + 1]
+            # Cypher's undirected relationship is treated as left-to-right; the
+            # workloads in this repository always specify a direction.
+            if rel.direction == "in":
+                src, dst = right, left
+            else:
+                src, dst = left, right
+            pattern.add_edge(
+                alias, src, dst, constraint, predicates,
+                min_hops=rel.min_hops if rel.is_path else 1,
+                max_hops=rel.max_hops if rel.is_path else 1,
+            )
+    return pattern
+
+
+# -- WITH / RETURN ---------------------------------------------------------------------
+
+def _apply_projection(
+    handle: Optional[PlanHandle],
+    items: List[ReturnItem],
+    distinct: bool,
+    where: Optional[Expr],
+    order_by: List[OrderItem],
+    limit: Optional[int],
+) -> PlanHandle:
+    if handle is None:
+        raise ParseError("WITH/RETURN before any MATCH clause is not supported")
+    aggregates = [item for item in items if item.aggregate is not None]
+    plain = [item for item in items if item.aggregate is None]
+
+    if aggregates:
+        keys = [(_item_expr(item), _item_alias(item)) for item in plain]
+        aggregations = []
+        for item in aggregates:
+            func = _AGGREGATE_FUNCTIONS[item.aggregate]
+            if item.aggregate == "count" and item.distinct:
+                func = AggregateFunction.COUNT_DISTINCT
+            operand = _aggregate_operand(item.expression)
+            aggregations.append((func, operand, _item_alias(item)))
+        handle = handle.group(keys=[key for key, _ in keys], aggregations=aggregations)
+        # grouping keys keep their aliases via a follow-up projection when the
+        # alias differs from the key expression's natural name
+        rename = [(TagRef(_key_natural_alias(expr)), alias)
+                  for expr, alias in keys if _key_natural_alias(expr) != alias]
+        if rename:
+            all_items = [(TagRef(_key_natural_alias(expr)), alias) for expr, alias in keys]
+            all_items += [(TagRef(_item_alias(item)), _item_alias(item)) for item in aggregates]
+            handle = handle.project(all_items)
+    else:
+        handle = handle.project([(_item_expr(item), _item_alias(item)) for item in items])
+
+    if distinct:
+        handle = handle.dedup()
+    if where is not None:
+        handle = handle.select(where)
+    if order_by:
+        keys = [( _rewrite_sort_expr(item.expression, items), item.ascending) for item in order_by]
+        handle = handle.order(keys, limit=limit)
+    elif limit is not None:
+        handle = handle.limit(limit)
+    return handle
+
+
+def _item_expr(item: ReturnItem) -> Expr:
+    return item.expression
+
+
+def _item_alias(item: ReturnItem) -> str:
+    if item.alias:
+        return item.alias
+    expr = item.expression
+    if isinstance(expr, TagRef):
+        return expr.tag
+    if isinstance(expr, Property):
+        return "%s_%s" % (expr.tag, expr.key)
+    if isinstance(expr, FunctionCall):
+        return expr.name.lower()
+    return repr(expr)
+
+
+def _key_natural_alias(expr: Expr) -> str:
+    if isinstance(expr, TagRef):
+        return expr.tag
+    if isinstance(expr, Property):
+        return "%s_%s" % (expr.tag, expr.key)
+    return repr(expr)
+
+
+def _aggregate_operand(expr: Expr) -> Optional[Expr]:
+    if isinstance(expr, FunctionCall) and expr.args:
+        return expr.args[0]
+    return None
+
+
+def _rewrite_sort_expr(expr: Expr, items: List[ReturnItem]) -> Expr:
+    """ORDER BY may reference projection aliases; keep alias references as tags."""
+    if isinstance(expr, (TagRef, Property)):
+        return expr
+    if isinstance(expr, FunctionCall) and expr.name.lower() in _AGGREGATE_FUNCTIONS:
+        # ORDER BY count(x): refer to the aggregation's output alias
+        for item in items:
+            if item.aggregate is not None and item.expression == expr:
+                return TagRef(_item_alias(item))
+        return TagRef(expr.name.lower())
+    return expr

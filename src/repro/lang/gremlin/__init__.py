@@ -1,0 +1,6 @@
+"""Gremlin front-end: parser and GIR lowering."""
+
+from repro.lang.gremlin.parser import parse_gremlin
+from repro.lang.gremlin.to_gir import gremlin_to_gir
+
+__all__ = ["parse_gremlin", "gremlin_to_gir"]

@@ -1,0 +1,29 @@
+"""AST node types for the Gremlin traversal fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A bare identifier argument such as ``values``, ``desc`` or ``asc``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Step:
+    """One traversal step ``name(arg, ...)``."""
+
+    name: str
+    args: Tuple[object, ...] = ()
+
+
+@dataclass
+class Traversal:
+    """A chain of steps; ``anonymous`` marks ``__.`` sub-traversals."""
+
+    steps: List[Step]
+    anonymous: bool = False

@@ -1,0 +1,147 @@
+"""Parser for the Gremlin traversal fragment used by the workloads.
+
+The grammar is a chain of steps on ``g`` (or ``__`` for anonymous
+sub-traversals): ``g.V().hasLabel('Person').as('a').out('KNOWS')...``.
+Step arguments can be string/number literals, bare identifiers (``values``,
+``desc``), or nested anonymous traversals (``__.as('v1').out().as('v2')``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang.gremlin.ast import Step, Symbol, Traversal
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: List[Tuple[str, object]] = []
+        self._tokenize()
+        self.index = 0
+
+    def _tokenize(self) -> None:
+        text = self.text
+        i = 0
+        length = len(text)
+        while i < length:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch in "'\"":
+                j = i + 1
+                while j < length and text[j] != ch:
+                    j += 1
+                if j >= length:
+                    raise ParseError("unterminated string literal", position=i, text=text)
+                self.tokens.append(("STRING", text[i + 1:j]))
+                i = j + 1
+                continue
+            if ch.isdigit() or (ch == "-" and i + 1 < length and text[i + 1].isdigit()):
+                j = i + 1
+                while j < length and (text[j].isdigit() or text[j] == "."):
+                    j += 1
+                raw = text[i:j]
+                self.tokens.append(("NUMBER", float(raw) if "." in raw else int(raw)))
+                i = j
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < length and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                self.tokens.append(("IDENT", text[i:j]))
+                i = j
+                continue
+            if ch in ".(),":
+                self.tokens.append((ch, ch))
+                i += 1
+                continue
+            raise ParseError("unexpected character %r" % (ch,), position=i, text=text)
+
+    def peek(self) -> Optional[Tuple[str, object]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, object]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of traversal", text=self.text)
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, object]:
+        token = self.next()
+        if token[0] != kind:
+            raise ParseError("expected %r but found %r" % (kind, token[1]), text=self.text)
+        return token
+
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def parse_gremlin(query: str) -> Traversal:
+    """Parse a Gremlin traversal string into a :class:`Traversal`."""
+    tokenizer = _Tokenizer(query.strip())
+    traversal = _parse_traversal(tokenizer, top_level=True)
+    if not tokenizer.exhausted():
+        raise ParseError("unexpected trailing input in traversal", text=query)
+    return traversal
+
+
+def _parse_traversal(tokenizer: _Tokenizer, top_level: bool) -> Traversal:
+    kind, value = tokenizer.next()
+    if kind != "IDENT" or value not in ("g", "__"):
+        raise ParseError("traversal must start with 'g' or '__', found %r" % (value,),
+                         text=tokenizer.text)
+    anonymous = value == "__"
+    steps: List[Step] = []
+    while tokenizer.peek() is not None and tokenizer.peek()[0] == ".":
+        tokenizer.next()
+        steps.append(_parse_step(tokenizer))
+    if not steps:
+        raise ParseError("traversal has no steps", text=tokenizer.text)
+    return Traversal(steps=steps, anonymous=anonymous)
+
+
+def _parse_step(tokenizer: _Tokenizer) -> Step:
+    kind, name = tokenizer.next()
+    if kind != "IDENT":
+        raise ParseError("expected a step name, found %r" % (name,), text=tokenizer.text)
+    tokenizer.expect("(")
+    args: List[object] = []
+    while True:
+        token = tokenizer.peek()
+        if token is None:
+            raise ParseError("unterminated step argument list", text=tokenizer.text)
+        if token[0] == ")":
+            tokenizer.next()
+            break
+        args.append(_parse_argument(tokenizer))
+        token = tokenizer.peek()
+        if token is not None and token[0] == ",":
+            tokenizer.next()
+    return Step(name=str(name), args=tuple(args))
+
+
+def _parse_argument(tokenizer: _Tokenizer):
+    token = tokenizer.peek()
+    if token is None:
+        raise ParseError("missing step argument", text=tokenizer.text)
+    kind, value = token
+    if kind in ("STRING", "NUMBER"):
+        tokenizer.next()
+        return value
+    if kind == "IDENT" and value == "__":
+        return _parse_traversal(tokenizer, top_level=False)
+    if kind == "IDENT":
+        tokenizer.next()
+        # qualified enums such as Order.desc are reduced to their last element
+        if tokenizer.peek() is not None and tokenizer.peek()[0] == ".":
+            tokenizer.next()
+            _, member = tokenizer.expect("IDENT")
+            return Symbol(str(member))
+        return Symbol(str(value))
+    raise ParseError("unsupported step argument %r" % (value,), text=tokenizer.text)

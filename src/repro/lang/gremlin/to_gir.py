@@ -1,0 +1,328 @@
+"""Lower Gremlin traversals to GIR logical plans.
+
+The lowering walks the traversal in two phases.  While the traversal navigates
+the graph (``V``/``out``/``in``/``hasLabel``/``has``/``as``/``match``/
+``select``-one-tag) it accumulates a pattern; the first relational step
+(``values``/``groupCount``/``group``/``order``/``limit``/``dedup``/``count``/
+``select`` of several tags) closes the pattern into a ``MATCH_PATTERN`` and the
+remaining steps become relational GIR operators.  This mirrors how GOpt's
+GraphIrBuilder receives Gremlin traversals in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.gir.builder import GraphIrBuilder, PlanHandle
+from repro.gir.expressions import BinaryOp, Literal, Property, TagRef
+from repro.gir.operators import AggregateFunction
+from repro.gir.pattern import PatternGraph
+from repro.gir.plan import LogicalPlan
+from repro.graph.types import TypeConstraint
+from repro.lang.gremlin.ast import Step, Symbol, Traversal
+from repro.lang.gremlin.parser import parse_gremlin
+
+_PATTERN_STEPS = {"V", "hasLabel", "has", "as", "out", "in", "both", "match", "select"}
+_RELATIONAL_STEPS = {"values", "groupCount", "group", "order", "by", "limit", "dedup", "count", "select"}
+
+
+@dataclass
+class _Element:
+    """A pattern vertex or edge under construction."""
+
+    name: str
+    kind: str                                   # "v" or "e"
+    labels: Optional[set] = None                # None = AllType
+    predicates: List[Tuple[str, object]] = field(default_factory=list)
+
+
+@dataclass
+class _EdgeDraft:
+    name: str
+    src: str
+    dst: str
+
+
+class _PatternBuilderState:
+    """Mutable pattern state: elements can be renamed by later ``as`` steps."""
+
+    def __init__(self):
+        self.elements: Dict[str, _Element] = {}
+        self.edges: List[_EdgeDraft] = []
+        self.current: Optional[str] = None
+        self._counter = 0
+
+    # -- element management -------------------------------------------------
+    def fresh(self, kind: str) -> str:
+        self._counter += 1
+        return "_g%s%d" % (kind, self._counter)
+
+    def add_vertex(self, name: Optional[str] = None) -> str:
+        name = name or self.fresh("v")
+        if name not in self.elements:
+            self.elements[name] = _Element(name=name, kind="v")
+        self.current = name
+        return name
+
+    def add_edge(self, src: str, dst: str, labels: Optional[set]) -> str:
+        name = self.fresh("e")
+        self.elements[name] = _Element(name=name, kind="e", labels=labels)
+        self.edges.append(_EdgeDraft(name=name, src=src, dst=dst))
+        return name
+
+    def rename_current(self, new_name: str) -> None:
+        if self.current is None:
+            self.add_vertex(new_name)
+            return
+        old = self.current
+        if old == new_name:
+            return
+        if new_name in self.elements:
+            self._merge(old, new_name)
+        else:
+            element = self.elements.pop(old)
+            element.name = new_name
+            self.elements[new_name] = element
+            for edge in self.edges:
+                if edge.src == old:
+                    edge.src = new_name
+                if edge.dst == old:
+                    edge.dst = new_name
+        self.current = new_name
+
+    def _merge(self, old: str, target: str) -> None:
+        source = self.elements.pop(old)
+        destination = self.elements[target]
+        if source.kind != destination.kind:
+            raise ParseError("cannot alias %r to %r: different element kinds" % (old, target))
+        if source.labels is not None:
+            if destination.labels is None:
+                destination.labels = set(source.labels)
+            else:
+                destination.labels &= source.labels
+        destination.predicates.extend(source.predicates)
+        for edge in self.edges:
+            if edge.src == old:
+                edge.src = target
+            if edge.dst == old:
+                edge.dst = target
+
+    def constrain_current(self, labels: Tuple[str, ...]) -> None:
+        element = self._require_current()
+        incoming = set(labels)
+        if element.labels is None:
+            element.labels = incoming
+        else:
+            element.labels &= incoming
+
+    def filter_current(self, key: str, value: object) -> None:
+        self._require_current().predicates.append((key, value))
+
+    def select(self, name: str) -> None:
+        if name not in self.elements:
+            raise ParseError("select(%r): unknown tag" % (name,))
+        self.current = name
+
+    def _require_current(self) -> _Element:
+        if self.current is None:
+            raise ParseError("traversal step requires a current element (missing V()?)")
+        return self.elements[self.current]
+
+    # -- finalisation ------------------------------------------------------------
+    def build_pattern(self) -> PatternGraph:
+        pattern = PatternGraph()
+        for element in self.elements.values():
+            if element.kind != "v":
+                continue
+            pattern.add_vertex(element.name, self._constraint(element), self._predicates(element))
+        for draft in self.edges:
+            element = self.elements[draft.name]
+            pattern.add_edge(draft.name, draft.src, draft.dst,
+                             self._constraint(element), self._predicates(element))
+        return pattern
+
+    @staticmethod
+    def _constraint(element: _Element) -> TypeConstraint:
+        if element.labels is None:
+            return TypeConstraint.all_types()
+        return TypeConstraint(element.labels)
+
+    @staticmethod
+    def _predicates(element: _Element):
+        return tuple(
+            BinaryOp("=", Property(element.name, key), Literal(value))
+            for key, value in element.predicates
+        )
+
+
+def gremlin_to_gir(query: str) -> LogicalPlan:
+    """Parse Gremlin text and lower it to a GIR logical plan."""
+    traversal = parse_gremlin(query)
+    return lower_gremlin_traversal(traversal)
+
+
+def lower_gremlin_traversal(traversal: Traversal) -> LogicalPlan:
+    state = _PatternBuilderState()
+    steps = list(traversal.steps)
+    index = 0
+    # -- phase 1: pattern construction
+    while index < len(steps):
+        step = steps[index]
+        if _is_relational(step, steps, index):
+            break
+        _apply_pattern_step(state, step)
+        index += 1
+    if not state.elements:
+        raise ParseError("traversal does not navigate the graph")
+    pattern = state.build_pattern()
+    builder = GraphIrBuilder()
+    handle = builder.match_pattern(pattern, semantics="homomorphism")
+    # -- phase 2: relational steps
+    handle = _apply_relational_steps(handle, steps[index:], state)
+    return handle.build()
+
+
+def _is_relational(step: Step, steps: List[Step], index: int) -> bool:
+    if step.name in ("values", "groupCount", "group", "order", "limit", "dedup", "count", "where"):
+        return True
+    if step.name == "select" and len(step.args) > 1:
+        return True
+    return False
+
+
+def _apply_pattern_step(state: _PatternBuilderState, step: Step) -> None:
+    name = step.name
+    if name == "V":
+        state.add_vertex()
+    elif name == "hasLabel":
+        state.constrain_current(tuple(str(a) for a in step.args))
+    elif name == "has":
+        if len(step.args) == 2:
+            state.filter_current(str(step.args[0]), step.args[1])
+        elif len(step.args) == 1:
+            pass  # existence checks are not modelled
+        else:
+            raise ParseError("unsupported has() arity %d" % (len(step.args),))
+    elif name == "as":
+        state.rename_current(str(step.args[0]))
+    elif name in ("out", "in", "both"):
+        labels = set(str(a) for a in step.args) if step.args else None
+        anchor = state.current
+        if anchor is None:
+            raise ParseError("%s() requires a preceding V()" % (name,))
+        target = state.add_vertex()
+        if name == "in":
+            state.add_edge(target, anchor, labels)
+        else:
+            state.add_edge(anchor, target, labels)
+        state.current = target
+    elif name == "match":
+        # ``g.V().match(...)``: the anonymous start vertex created by V() is
+        # superseded by the tags used inside the match sub-traversals
+        current = state.current
+        if current is not None:
+            element = state.elements.get(current)
+            untouched = (
+                element is not None
+                and element.kind == "v"
+                and element.labels is None
+                and not element.predicates
+                and not any(current in (e.src, e.dst) for e in state.edges)
+            )
+            if untouched:
+                del state.elements[current]
+                state.current = None
+        for arg in step.args:
+            if not isinstance(arg, Traversal):
+                raise ParseError("match() arguments must be anonymous traversals")
+            saved = state.current
+            state.current = None
+            for sub_step in arg.steps:
+                _apply_pattern_step(state, sub_step)
+            state.current = saved or state.current
+    elif name == "select":
+        if len(step.args) != 1:
+            raise ParseError("pattern-phase select() takes exactly one tag")
+        state.select(str(step.args[0]))
+    else:
+        raise ParseError("unsupported traversal step %r" % (name,))
+
+
+def _apply_relational_steps(handle: PlanHandle, steps: List[Step], state: _PatternBuilderState) -> PlanHandle:
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        name = step.name
+        if name == "values":
+            prop = str(step.args[0])
+            tag = state.current or next(iter(state.elements))
+            handle = handle.project([(Property(tag, prop), prop)])
+        elif name == "select":
+            tags = [str(a) for a in step.args]
+            handle = handle.project([(TagRef(t), t) for t in tags])
+        elif name == "groupCount":
+            keys, consumed = _collect_by_keys(steps, index + 1, state)
+            index += consumed
+            if not keys:
+                keys = [TagRef(state.current)] if state.current else []
+            handle = handle.group(keys=keys, agg_func=AggregateFunction.COUNT, alias="count")
+        elif name == "count":
+            handle = handle.group(keys=[], agg_func=AggregateFunction.COUNT, alias="count")
+        elif name == "order":
+            sort_keys, consumed = _collect_order_keys(steps, index + 1)
+            index += consumed
+            if not sort_keys:
+                sort_keys = [(TagRef("count"), True)]
+            handle = handle.order(sort_keys)
+        elif name == "limit":
+            handle = handle.limit(int(step.args[0]))
+        elif name == "dedup":
+            handle = handle.dedup(tuple(str(a) for a in step.args))
+        elif name == "has":
+            tag = state.current or next(iter(state.elements))
+            if len(step.args) == 2:
+                handle = handle.select(BinaryOp("=", Property(tag, str(step.args[0])),
+                                                Literal(step.args[1])))
+        else:
+            raise ParseError("unsupported relational step %r" % (name,))
+        index += 1
+    return handle
+
+
+def _collect_by_keys(steps: List[Step], start: int, state: _PatternBuilderState):
+    keys = []
+    consumed = 0
+    index = start
+    while index < len(steps) and steps[index].name == "by":
+        arg = steps[index].args[0] if steps[index].args else None
+        if isinstance(arg, Symbol):
+            pass  # by(values) and friends do not contribute grouping keys
+        elif isinstance(arg, str):
+            keys.append(TagRef(arg))
+        consumed += 1
+        index += 1
+    return keys, consumed
+
+
+def _collect_order_keys(steps: List[Step], start: int):
+    keys = []
+    consumed = 0
+    index = start
+    while index < len(steps) and steps[index].name == "by":
+        args = steps[index].args
+        expr = TagRef("count")
+        ascending = True
+        for arg in args:
+            if isinstance(arg, Symbol):
+                if arg.name.lower() in ("desc", "decr"):
+                    ascending = False
+                elif arg.name.lower() in ("asc", "incr", "values"):
+                    pass
+            elif isinstance(arg, str):
+                expr = TagRef(arg) if "." not in arg else Property(*arg.split(".", 1))
+        keys.append((expr, ascending))
+        consumed += 1
+        index += 1
+    return keys, consumed

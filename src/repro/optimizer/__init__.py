@@ -1,0 +1,50 @@
+"""The graph-native optimizer (paper Sections 4-7).
+
+Submodules:
+
+* :mod:`repro.optimizer.rules` -- rule-based optimization (RBO) with the
+  paper's heuristic rules and a HepPlanner-style fix-point engine.
+* :mod:`repro.optimizer.type_inference` -- Algorithm 1: type inference and
+  validation against the graph schema.
+* :mod:`repro.optimizer.glogue` -- GLogue high-order statistics.
+* :mod:`repro.optimizer.cardinality` -- GLogueQuery cardinality estimation
+  for patterns with arbitrary type constraints (Eq. 1 and Eq. 2).
+* :mod:`repro.optimizer.physical_spec` -- the registerable ``PhysicalSpec``
+  interface plus the Neo4j/GraphScope registrations of the paper.
+* :mod:`repro.optimizer.search` -- Algorithm 2: top-down plan search with a
+  greedy initial bound and branch-and-bound pruning.
+* :mod:`repro.optimizer.planner` -- the ``GOptimizer`` facade chaining
+  RBO -> type inference -> CBO -> physical plan.
+* :mod:`repro.optimizer.baselines` -- CypherPlanner-like and rule-only
+  baseline planners plus a random planner for the CBO experiments.
+"""
+
+from repro.optimizer.cardinality import GlogueQuery
+from repro.optimizer.glogue import Glogue
+from repro.optimizer.physical_spec import (
+    BackendProfile,
+    ExpandIntersectSpec,
+    ExpandIntoSpec,
+    HashJoinSpec,
+    PhysicalSpec,
+    graphscope_profile,
+    neo4j_profile,
+)
+from repro.optimizer.planner import GOptimizer, OptimizationReport
+from repro.optimizer.type_inference import TypeInferenceResult, infer_types
+
+__all__ = [
+    "Glogue",
+    "GlogueQuery",
+    "PhysicalSpec",
+    "BackendProfile",
+    "ExpandIntoSpec",
+    "ExpandIntersectSpec",
+    "HashJoinSpec",
+    "neo4j_profile",
+    "graphscope_profile",
+    "GOptimizer",
+    "OptimizationReport",
+    "infer_types",
+    "TypeInferenceResult",
+]

@@ -1,0 +1,61 @@
+"""Cost model combining communication and computation cost (paper Section 6.3.2).
+
+The cost of a plan step is::
+
+    step_cost = [communication]  F(P_target)            (skipped on single-machine backends)
+              + [computation]    alpha_op * computeCost  (from the backend's PhysicalSpec)
+
+and a plan's cost accumulates step costs bottom-up, exactly as in Algorithm 2
+(lines 11 and 15).  The class is a thin convenience wrapper used by the plan
+search, the greedy initialiser and the baseline planners so they all price
+steps identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gir.pattern import PatternEdge, PatternGraph
+from repro.optimizer.cardinality import GlogueQuery
+from repro.optimizer.physical_spec import BackendProfile
+
+
+@dataclass
+class CostModel:
+    """Prices scan / expand / join steps for one backend profile."""
+
+    gq: GlogueQuery
+    profile: BackendProfile
+
+    def scan_cost(self, vertex_pattern: PatternGraph) -> float:
+        """Cost of scanning the vertices matching a single-vertex pattern."""
+        return self.gq.get_freq(vertex_pattern)
+
+    def communication_cost(self, target: PatternGraph) -> float:
+        """Number of intermediate results shipped for the target pattern."""
+        if not self.profile.include_communication_cost:
+            return 0.0
+        return self.gq.get_freq(target)
+
+    def expand_step_cost(
+        self,
+        source: PatternGraph,
+        expand_edges: Sequence[PatternEdge],
+        target: PatternGraph,
+    ) -> float:
+        """Non-cumulative cost of one vertex-expansion step."""
+        return self.communication_cost(target) + self.profile.expand_cost(
+            self.gq, source, expand_edges, target
+        )
+
+    def join_step_cost(
+        self,
+        left: PatternGraph,
+        right: PatternGraph,
+        target: PatternGraph,
+    ) -> float:
+        """Non-cumulative cost of one binary-join step."""
+        return self.communication_cost(target) + self.profile.join_cost(
+            self.gq, left, right, target
+        )

@@ -1,0 +1,54 @@
+"""Rule-based optimization (RBO) for CGPs (paper Section 6.1).
+
+Rules rewrite GIR logical plans and are applied to a fix-point by the
+:class:`HepPlanner` (named after the Calcite planner the paper builds on).
+The four graph-specific rules of the paper -- FilterIntoPattern, FieldTrim,
+JoinToPattern, ComSubPattern -- are included, along with relational rules
+(filter push-down, select merging, order/limit fusion) mirroring the Calcite
+rules GOpt reuses.  New rules can be plugged in by subclassing :class:`Rule`.
+"""
+
+from repro.optimizer.rules.base import HepPlanner, Rule, RuleApplication
+from repro.optimizer.rules.common_subpattern import ComSubPatternRule
+from repro.optimizer.rules.field_trim import FieldTrimRule
+from repro.optimizer.rules.filter_into_pattern import FilterIntoPatternRule
+from repro.optimizer.rules.join_to_pattern import JoinToPatternRule
+from repro.optimizer.rules.relational import (
+    FilterPushDownRule,
+    LimitPushThroughProjectRule,
+    OrderLimitFusionRule,
+    SelectMergeRule,
+)
+
+DEFAULT_RULES = (
+    SelectMergeRule(),
+    FilterPushDownRule(),
+    FilterIntoPatternRule(),
+    JoinToPatternRule(),
+    ComSubPatternRule(),
+    FieldTrimRule(),
+    OrderLimitFusionRule(),
+    LimitPushThroughProjectRule(),
+)
+
+
+def default_hep_planner() -> HepPlanner:
+    """HepPlanner preloaded with the paper's heuristic rule set."""
+    return HepPlanner(DEFAULT_RULES)
+
+
+__all__ = [
+    "Rule",
+    "RuleApplication",
+    "HepPlanner",
+    "FilterIntoPatternRule",
+    "FieldTrimRule",
+    "JoinToPatternRule",
+    "ComSubPatternRule",
+    "FilterPushDownRule",
+    "SelectMergeRule",
+    "OrderLimitFusionRule",
+    "LimitPushThroughProjectRule",
+    "DEFAULT_RULES",
+    "default_hep_planner",
+]

@@ -1,0 +1,65 @@
+"""Rule framework: the HepPlanner fix-point engine (paper Section 7).
+
+A rule consists of a *condition* (does the rule apply to this plan?) and an
+*action* (the rewritten plan); both are folded into :meth:`Rule.apply`, which
+returns ``None`` when the rule does not fire.  The HepPlanner repeatedly runs
+its rule list until no rule changes the plan or an iteration cap is hit,
+mirroring Calcite's heuristic planner that GOpt uses for RBO.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.gir.plan import LogicalPlan
+
+
+class Rule(abc.ABC):
+    """A heuristic rewrite rule over logical plans."""
+
+    name: str = "rule"
+
+    @abc.abstractmethod
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        """Return the rewritten plan, or ``None`` if the rule does not apply."""
+
+    def __repr__(self) -> str:
+        return "%s()" % (type(self).__name__,)
+
+
+@dataclass
+class RuleApplication:
+    """Record of one successful rule firing (for explain/tests)."""
+
+    rule: str
+    iteration: int
+
+
+@dataclass
+class HepPlanner:
+    """Apply rules round-robin until a fix-point (or ``max_iterations``)."""
+
+    rules: Sequence[Rule]
+    max_iterations: int = 10
+    applications: List[RuleApplication] = field(default_factory=list)
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        """Rewrite ``plan`` with the configured rules; records firings."""
+        self.applications = []
+        current = plan
+        for iteration in range(self.max_iterations):
+            changed = False
+            for rule in self.rules:
+                rewritten = rule.apply(current)
+                if rewritten is not None:
+                    current = rewritten
+                    changed = True
+                    self.applications.append(RuleApplication(rule.name, iteration))
+            if not changed:
+                break
+        return current
+
+    def applied_rule_names(self) -> Tuple[str, ...]:
+        return tuple(app.rule for app in self.applications)

@@ -1,0 +1,95 @@
+"""ComSubPattern: share a common subpattern across a binary operator (Section 6.1).
+
+Condition: a binary operator (``UNION`` in this reproduction; the paper also
+mentions JOIN/DIFFERENCE) combines two ``MATCH_PATTERN`` operators whose
+patterns share vertices and edges with identical names, constraints and
+predicates.
+Action: the shared subpattern is recorded on the ``UNION`` operator; the
+physical planner then matches the shared part once and lets each branch expand
+only its residual edges, reusing the shared intermediate results (the backends
+cache results per physical-operator instance, so the shared subtree executes
+once).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gir.operators import LogicalOperator, MatchPatternOp, UnionOp
+from repro.gir.pattern import PatternGraph
+from repro.gir.plan import LogicalPlan
+from repro.optimizer.rules.base import Rule
+
+
+def common_subpattern(left: PatternGraph, right: PatternGraph) -> Optional[PatternGraph]:
+    """The maximal shared subpattern (by names), or ``None`` if trivial."""
+    shared_edges = []
+    for name in left.common_edges(right):
+        left_edge, right_edge = left.edge(name), right.edge(name)
+        if (left_edge.src, left_edge.dst) != (right_edge.src, right_edge.dst):
+            return None
+        if left_edge.constraint != right_edge.constraint:
+            continue
+        if left_edge.predicates != right_edge.predicates:
+            continue
+        src_match = left.vertex(left_edge.src).constraint == right.vertex(right_edge.src).constraint
+        dst_match = left.vertex(left_edge.dst).constraint == right.vertex(right_edge.dst).constraint
+        if src_match and dst_match:
+            shared_edges.append(name)
+    if not shared_edges:
+        return None
+    candidate = left.subpattern_by_edges(sorted(shared_edges))
+    if not candidate.is_connected():
+        # keep only the largest connected component reachable from the first edge
+        first = sorted(shared_edges)[0]
+        reachable = _connected_edges(candidate, first)
+        candidate = candidate.subpattern_by_edges(sorted(reachable))
+    return candidate
+
+
+def _connected_edges(pattern: PatternGraph, seed_edge: str) -> set:
+    seed = pattern.edge(seed_edge)
+    seen_vertices = {seed.src, seed.dst}
+    seen_edges = {seed_edge}
+    frontier = True
+    while frontier:
+        frontier = False
+        for edge in pattern.edges:
+            if edge.name in seen_edges:
+                continue
+            if edge.src in seen_vertices or edge.dst in seen_vertices:
+                seen_edges.add(edge.name)
+                seen_vertices.update((edge.src, edge.dst))
+                frontier = True
+    return seen_edges
+
+
+class ComSubPatternRule(Rule):
+    """Annotate UNIONs of patterns with their shared subpattern."""
+
+    name = "ComSubPattern"
+
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        changed = False
+
+        def rewrite(node: LogicalOperator) -> LogicalOperator:
+            nonlocal changed
+            if not isinstance(node, UnionOp) or node.common_subpattern is not None:
+                return node
+            if len(node.inputs) != 2:
+                return node
+            left, right = node.inputs
+            if not isinstance(left, MatchPatternOp) or not isinstance(right, MatchPatternOp):
+                return node
+            shared = common_subpattern(left.pattern, right.pattern)
+            if shared is None or shared.num_edges == 0:
+                return node
+            changed = True
+            return UnionOp(
+                distinct=node.distinct,
+                inputs=node.inputs,
+                common_subpattern=shared,
+            )
+
+        rewritten = plan.transform(rewrite)
+        return rewritten if changed else None

@@ -1,0 +1,120 @@
+"""FieldTrim: drop intermediate data that no later operator needs (Section 6.1).
+
+Two effects, matching the paper's Fig. 4:
+
+* each pattern vertex/edge gets a ``COLUMNS`` annotation listing exactly the
+  properties referenced by downstream operators (``COLUMNS = empty`` when only
+  the element's identity is needed), so the backend retrieves no unnecessary
+  properties during matching; and
+* a ``PROJECT`` operator is inserted directly above the pattern match to trim
+  tags (vertices/edges) that no downstream operator references.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Set
+
+from repro.gir.expressions import TagRef
+from repro.gir.operators import (
+    JoinOp,
+    LogicalOperator,
+    MatchPatternOp,
+    ProjectItem,
+    ProjectOp,
+    UnionOp,
+)
+from repro.gir.plan import LogicalPlan
+from repro.optimizer.rules.base import Rule
+
+
+def _downstream_property_usage(plan: LogicalPlan) -> Dict[str, Set[str]]:
+    """Map tag -> property keys referenced anywhere in the plan's operators."""
+    usage: Dict[str, Set[str]] = defaultdict(set)
+    for node in plan.nodes():
+        if isinstance(node, MatchPatternOp):
+            # properties referenced by matching-time predicates are evaluated
+            # inside the match and need not be materialised as columns
+            continue
+        for attr in ("predicate",):
+            expr = getattr(node, attr, None)
+            if expr is not None:
+                for tag, key in expr.referenced_properties():
+                    usage[tag].add(key)
+        for attr in ("items", "keys"):
+            items = getattr(node, attr, None) or ()
+            for item in items:
+                expr = getattr(item, "expr", None)
+                if expr is not None:
+                    for tag, key in expr.referenced_properties():
+                        usage[tag].add(key)
+        aggregations = getattr(node, "aggregations", None) or ()
+        for agg in aggregations:
+            if agg.operand is not None:
+                for tag, key in agg.operand.referenced_properties():
+                    usage[tag].add(key)
+    return usage
+
+
+class FieldTrimRule(Rule):
+    """Annotate patterns with COLUMNS and project away unused tags."""
+
+    name = "FieldTrim"
+
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        usage = _downstream_property_usage(plan)
+        changed = False
+
+        def rewrite(node: LogicalOperator, parent: Optional[LogicalOperator]) -> LogicalOperator:
+            nonlocal changed
+            new_inputs = tuple(rewrite(child, node) for child in node.inputs)
+            if new_inputs != node.inputs:
+                node = node.with_inputs(new_inputs)
+            if not isinstance(node, MatchPatternOp):
+                return node
+
+            needed_tags = plan.downstream_referenced_tags(_find_original(plan, node))
+            pattern = node.pattern
+            updated = pattern
+            for vertex in pattern.vertices:
+                columns = frozenset(usage.get(vertex.name, ()))
+                if vertex.columns != columns:
+                    updated = updated.with_vertex(vertex.with_columns(columns))
+            if updated is not pattern and any(
+                updated.vertex(v.name).columns != pattern.vertex(v.name).columns
+                for v in pattern.vertices
+            ):
+                changed = True
+                node = MatchPatternOp(pattern=updated, semantics=node.semantics)
+
+            # insert a trimming PROJECT unless the parent already projects or
+            # every tag is still needed downstream
+            output_tags = set(node.output_tags())
+            keep = sorted(output_tags & needed_tags) if needed_tags else []
+            if (
+                keep
+                and set(keep) != output_tags
+                and not isinstance(parent, (ProjectOp, JoinOp, UnionOp))
+            ):
+                changed = True
+                items = tuple(ProjectItem(TagRef(tag), tag) for tag in keep)
+                return ProjectOp(items=items, append=False, inputs=(node,))
+            return node
+
+        new_root = rewrite(plan.root, None)
+        if not changed:
+            return None
+        return LogicalPlan(new_root)
+
+
+def _find_original(plan: LogicalPlan, node: MatchPatternOp) -> MatchPatternOp:
+    """Locate the plan's original operator matching ``node`` (same pattern tags).
+
+    The rewrite builds new MatchPattern instances, so downstream-tag analysis
+    (which works on the original plan) is keyed by the pattern's tag set.
+    """
+    target_tags = node.output_tags()
+    for candidate in plan.patterns():
+        if candidate.output_tags() == target_tags:
+            return candidate
+    return node

@@ -1,0 +1,75 @@
+"""FilterIntoPattern: push SELECT filters into the pattern match (Section 6.1).
+
+Condition: a ``SELECT`` operator sits directly on top of a ``MATCH_PATTERN``.
+Action: every conjunct that references exactly one pattern tag is attached to
+that pattern vertex or edge as a matching-time predicate; remaining conjuncts
+stay in a (smaller) ``SELECT``.  Pushing filters into the pattern both shrinks
+intermediate results during matching and lets the CBO's selectivity model see
+the filters (Remark 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.gir.expressions import Expr, conjoin, conjuncts
+from repro.gir.operators import LogicalOperator, MatchPatternOp, SelectOp
+from repro.gir.pattern import PatternGraph
+from repro.gir.plan import LogicalPlan
+from repro.optimizer.rules.base import Rule
+
+
+def push_predicates_into_pattern(
+    pattern: PatternGraph, predicate: Expr
+) -> Tuple[PatternGraph, Optional[Expr], int]:
+    """Push single-tag conjuncts of ``predicate`` into ``pattern``.
+
+    Returns ``(new_pattern, residual_predicate, pushed_count)``.
+    """
+    pushed = 0
+    remaining: List[Expr] = []
+    current = pattern
+    for conjunct in conjuncts(predicate):
+        tags = conjunct.referenced_tags()
+        if len(tags) == 1:
+            tag = next(iter(tags))
+            if current.has_vertex(tag):
+                current = current.with_vertex(current.vertex(tag).with_predicate(conjunct))
+                pushed += 1
+                continue
+            if current.has_edge(tag):
+                current = current.with_edge(current.edge(tag).with_predicate(conjunct))
+                pushed += 1
+                continue
+        remaining.append(conjunct)
+    return current, conjoin(remaining), pushed
+
+
+class FilterIntoPatternRule(Rule):
+    """Push filters from SELECT operators into the pattern they filter."""
+
+    name = "FilterIntoPattern"
+
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        changed = False
+
+        def rewrite(node: LogicalOperator) -> LogicalOperator:
+            nonlocal changed
+            if not isinstance(node, SelectOp) or len(node.inputs) != 1:
+                return node
+            child = node.inputs[0]
+            if not isinstance(child, MatchPatternOp):
+                return node
+            new_pattern, residual, pushed = push_predicates_into_pattern(
+                child.pattern, node.predicate
+            )
+            if pushed == 0:
+                return node
+            changed = True
+            new_match = MatchPatternOp(pattern=new_pattern, semantics=child.semantics)
+            if residual is None:
+                return new_match
+            return SelectOp(predicate=residual, inputs=(new_match,))
+
+        rewritten = plan.transform(rewrite)
+        return rewritten if changed else None

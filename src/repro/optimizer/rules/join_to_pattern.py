@@ -1,0 +1,55 @@
+"""JoinToPattern: merge two joined patterns into one pattern (Section 6.1).
+
+Condition: an inner ``JOIN`` connects two ``MATCH_PATTERN`` operators and its
+join keys are common vertices (and/or edges) of the two patterns.
+Action: the patterns are merged into a single pattern on the shared names,
+eliminating the join.  Under homomorphism semantics this transformation is an
+equivalence (Remark 3.1); when relational operators such as GROUP/ORDER/LIMIT
+sit between a pattern and the join, the rule does not fire, matching the
+restrictions discussed in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gir.operators import JoinOp, JoinType, LogicalOperator, MatchPatternOp
+from repro.gir.plan import LogicalPlan
+from repro.optimizer.rules.base import Rule
+
+
+class JoinToPatternRule(Rule):
+    """Eliminate JOINs whose keys are the common vertices of two patterns."""
+
+    name = "JoinToPattern"
+
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        changed = False
+
+        def rewrite(node: LogicalOperator) -> LogicalOperator:
+            nonlocal changed
+            if not isinstance(node, JoinOp) or node.join_type is not JoinType.INNER:
+                return node
+            if len(node.inputs) != 2:
+                return node
+            left, right = node.inputs
+            if not isinstance(left, MatchPatternOp) or not isinstance(right, MatchPatternOp):
+                return node
+            common = (left.pattern.common_vertices(right.pattern)
+                      | left.pattern.common_edges(right.pattern))
+            keys = set(node.keys)
+            if not keys or not keys.issubset(common):
+                return node
+            try:
+                merged = left.pattern.merge(right.pattern)
+            except Exception:
+                return node
+            if not merged.is_connected():
+                # merging two patterns that only touch through the join keys can
+                # still be disconnected if the keys named no shared vertex
+                return node
+            changed = True
+            return MatchPatternOp(pattern=merged, semantics=left.semantics)
+
+        rewritten = plan.transform(rewrite)
+        return rewritten if changed else None

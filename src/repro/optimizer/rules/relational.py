@@ -1,0 +1,162 @@
+"""Relational heuristic rules reused from the Calcite layer (paper Section 7).
+
+GOpt delegates purely relational rewrites to Calcite; this module reproduces
+the subset that matters for the paper's workloads:
+
+* ``SelectMergeRule``      -- fuse stacked SELECTs into one conjunction;
+* ``FilterPushDownRule``   -- push SELECT conjuncts below JOIN/UNION branches
+  that expose all referenced tags;
+* ``OrderLimitFusionRule`` -- fold a LIMIT into the ORDER below it (top-k);
+* ``LimitPushThroughProjectRule`` -- evaluate LIMIT before a row-preserving
+  PROJECT so fewer rows are projected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.gir.expressions import BinaryOp, conjoin, conjuncts
+from repro.gir.operators import (
+    JoinOp,
+    LimitOp,
+    LogicalOperator,
+    MatchPatternOp,
+    OrderOp,
+    ProjectOp,
+    SelectOp,
+    UnionOp,
+)
+from repro.gir.plan import LogicalPlan
+from repro.optimizer.rules.base import Rule
+
+
+def _output_tags(op: LogicalOperator) -> set:
+    if isinstance(op, MatchPatternOp):
+        return set(op.output_tags())
+    if isinstance(op, (ProjectOp,)):
+        return set(op.output_tags())
+    if hasattr(op, "output_tags"):
+        return set(op.output_tags())
+    tags = set()
+    for child in op.inputs:
+        tags |= _output_tags(child)
+    return tags
+
+
+class SelectMergeRule(Rule):
+    """SELECT(SELECT(x)) -> SELECT(x) with the conjunction of both predicates."""
+
+    name = "SelectMerge"
+
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        changed = False
+
+        def rewrite(node: LogicalOperator) -> LogicalOperator:
+            nonlocal changed
+            if isinstance(node, SelectOp) and len(node.inputs) == 1 and isinstance(node.inputs[0], SelectOp):
+                child = node.inputs[0]
+                changed = True
+                merged = BinaryOp("AND", child.predicate, node.predicate)
+                return SelectOp(predicate=merged, inputs=child.inputs)
+            return node
+
+        rewritten = plan.transform(rewrite)
+        return rewritten if changed else None
+
+
+class FilterPushDownRule(Rule):
+    """Push SELECT conjuncts into JOIN/UNION branches that can evaluate them."""
+
+    name = "FilterPushDown"
+
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        changed = False
+
+        def rewrite(node: LogicalOperator) -> LogicalOperator:
+            nonlocal changed
+            if not isinstance(node, SelectOp) or len(node.inputs) != 1:
+                return node
+            child = node.inputs[0]
+            if isinstance(child, JoinOp) and len(child.inputs) == 2:
+                return self._push_through_join(node, child) or node
+            if isinstance(child, UnionOp) and len(child.inputs) == 2:
+                changed = True
+                pushed_inputs = tuple(
+                    SelectOp(predicate=node.predicate, inputs=(branch,)) for branch in child.inputs
+                )
+                return child.with_inputs(pushed_inputs)
+            return node
+
+        def mark_changed(result):
+            nonlocal changed
+            changed = True
+            return result
+
+        def push_through_join(select: SelectOp, join: JoinOp):
+            left, right = join.inputs
+            left_tags, right_tags = _output_tags(left), _output_tags(right)
+            to_left: List = []
+            to_right: List = []
+            keep: List = []
+            for conjunct in conjuncts(select.predicate):
+                tags = conjunct.referenced_tags()
+                if tags and tags.issubset(left_tags):
+                    to_left.append(conjunct)
+                elif tags and tags.issubset(right_tags):
+                    to_right.append(conjunct)
+                else:
+                    keep.append(conjunct)
+            if not to_left and not to_right:
+                return None
+            new_left = SelectOp(predicate=conjoin(to_left), inputs=(left,)) if to_left else left
+            new_right = SelectOp(predicate=conjoin(to_right), inputs=(right,)) if to_right else right
+            new_join = join.with_inputs((new_left, new_right))
+            if keep:
+                return mark_changed(SelectOp(predicate=conjoin(keep), inputs=(new_join,)))
+            return mark_changed(new_join)
+
+        self._push_through_join = push_through_join
+        rewritten = plan.transform(rewrite)
+        return rewritten if changed else None
+
+
+class OrderLimitFusionRule(Rule):
+    """LIMIT(ORDER(x)) -> ORDER(x, limit=n): top-k sorting."""
+
+    name = "OrderLimitFusion"
+
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        changed = False
+
+        def rewrite(node: LogicalOperator) -> LogicalOperator:
+            nonlocal changed
+            if isinstance(node, LimitOp) and len(node.inputs) == 1 and isinstance(node.inputs[0], OrderOp):
+                order = node.inputs[0]
+                limit = node.count if order.limit is None else min(order.limit, node.count)
+                changed = True
+                return OrderOp(keys=order.keys, limit=limit, inputs=order.inputs)
+            return node
+
+        rewritten = plan.transform(rewrite)
+        return rewritten if changed else None
+
+
+class LimitPushThroughProjectRule(Rule):
+    """LIMIT(PROJECT(x)) -> PROJECT(LIMIT(x)): project fewer rows."""
+
+    name = "LimitPushThroughProject"
+
+    def apply(self, plan: LogicalPlan) -> Optional[LogicalPlan]:
+        changed = False
+
+        def rewrite(node: LogicalOperator) -> LogicalOperator:
+            nonlocal changed
+            if isinstance(node, LimitOp) and len(node.inputs) == 1 and isinstance(node.inputs[0], ProjectOp):
+                project = node.inputs[0]
+                changed = True
+                limited = LimitOp(count=node.count, inputs=project.inputs)
+                return project.with_inputs((limited,))
+            return node
+
+        rewritten = plan.transform(rewrite)
+        return rewritten if changed else None

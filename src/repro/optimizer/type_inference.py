@@ -1,0 +1,152 @@
+"""Automatic type inference and validation (paper Algorithm 1, Section 6.2).
+
+Patterns written without explicit type constraints (``AllType``) or with broad
+``UnionType`` constraints are narrowed against the graph schema: a vertex can
+only keep a type if the schema contains compatible edge triples for every
+pattern edge incident to it, and edge constraints are narrowed to the labels
+of those compatible triples.  The procedure starts from the most constrained
+vertices (a priority queue ordered by ``|tau(u)|``), propagates constraints to
+neighbours, and iterates to a fix-point.  If any constraint becomes empty the
+pattern cannot match anything and ``INVALID`` is reported.
+
+Compared to the pseudo-code in the paper, the propagation here works on whole
+schema triples, which handles incoming and outgoing adjacencies uniformly (the
+paper notes incoming edges are handled "similarly") and never loosens a
+constraint.  Variable-length path edges are skipped: their intermediate
+vertices are unconstrained, so they give no information about endpoints.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.errors import TypeInferenceError
+from repro.gir.pattern import PatternGraph
+from repro.graph.schema import GraphSchema
+from repro.graph.types import TypeConstraint
+
+
+@dataclass
+class TypeInferenceResult:
+    """Outcome of Algorithm 1."""
+
+    valid: bool
+    pattern: Optional[PatternGraph]
+    iterations: int
+    narrowed_vertices: int
+    narrowed_edges: int
+    reason: str = ""
+
+    def require_valid(self) -> PatternGraph:
+        """Return the inferred pattern, raising if the pattern is INVALID."""
+        if not self.valid or self.pattern is None:
+            raise TypeInferenceError(self.reason or "pattern admits no valid type assignment")
+        return self.pattern
+
+
+def infer_types(pattern: PatternGraph, schema: GraphSchema) -> TypeInferenceResult:
+    """Infer and validate type constraints for every pattern vertex and edge."""
+    all_vertex_types = frozenset(schema.vertex_types)
+    all_edge_labels = frozenset(schema.edge_labels)
+
+    vertex_types: Dict[str, Set[str]] = {}
+    for vertex in pattern.vertices:
+        vertex_types[vertex.name] = set(vertex.constraint.resolve(all_vertex_types)) & set(all_vertex_types)
+    edge_labels: Dict[str, Set[str]] = {}
+    for edge in pattern.edges:
+        edge_labels[edge.name] = set(edge.constraint.resolve(all_edge_labels)) & set(all_edge_labels)
+
+    for name, types in vertex_types.items():
+        if not types:
+            return TypeInferenceResult(False, None, 0, 0, 0,
+                                       "vertex %r admits no schema type" % (name,))
+    for name, labels in edge_labels.items():
+        if not labels:
+            return TypeInferenceResult(False, None, 0, 0, 0,
+                                       "edge %r admits no schema label" % (name,))
+
+    # priority queue ordered by the size of the current constraint (most
+    # specific first), with lazily discarded stale entries
+    queue: list = []
+    in_queue: Set[str] = set()
+    for name in pattern.vertex_names:
+        heapq.heappush(queue, (len(vertex_types[name]), name))
+        in_queue.add(name)
+
+    iterations = 0
+    while queue:
+        _, u = heapq.heappop(queue)
+        if u not in in_queue:
+            continue
+        in_queue.discard(u)
+        iterations += 1
+
+        for edge in pattern.incident_edges(u):
+            if edge.is_path:
+                continue
+            v = edge.other_endpoint(u)
+            if edge.src == u:
+                src_name, dst_name = u, v
+            else:
+                src_name, dst_name = v, u
+            allowed_src: Set[str] = set()
+            allowed_dst: Set[str] = set()
+            allowed_labels: Set[str] = set()
+            for (src_type, label, dst_type) in schema.edge_triples:
+                if label not in edge_labels[edge.name]:
+                    continue
+                if src_type not in vertex_types[src_name]:
+                    continue
+                if dst_type not in vertex_types[dst_name]:
+                    continue
+                allowed_src.add(src_type)
+                allowed_dst.add(dst_type)
+                allowed_labels.add(label)
+            if not allowed_labels:
+                return TypeInferenceResult(
+                    False, None, iterations, 0, 0,
+                    "edge %r has no schema triple compatible with its endpoints" % (edge.name,),
+                )
+            edge_labels[edge.name] &= allowed_labels
+            changed = _shrink(vertex_types, src_name, allowed_src) | _shrink(vertex_types, dst_name, allowed_dst)
+            for name in changed:
+                if not vertex_types[name]:
+                    return TypeInferenceResult(
+                        False, None, iterations, 0, 0,
+                        "vertex %r admits no schema type after propagation" % (name,),
+                    )
+                if name not in in_queue:
+                    heapq.heappush(queue, (len(vertex_types[name]), name))
+                    in_queue.add(name)
+
+    narrowed_vertices = 0
+    narrowed_edges = 0
+    inferred = pattern.copy()
+    for vertex in pattern.vertices:
+        original = vertex.constraint.resolve(all_vertex_types)
+        final = frozenset(vertex_types[vertex.name])
+        if final != frozenset(original) or vertex.constraint.is_all:
+            narrowed_vertices += 1
+        inferred = inferred.with_vertex_constraint(vertex.name, TypeConstraint(final))
+    for edge in pattern.edges:
+        if edge.is_path:
+            continue
+        original = edge.constraint.resolve(all_edge_labels)
+        final = frozenset(edge_labels[edge.name])
+        if final != frozenset(original) or edge.constraint.is_all:
+            narrowed_edges += 1
+        inferred = inferred.with_edge_constraint(edge.name, TypeConstraint(final))
+
+    return TypeInferenceResult(True, inferred, iterations, narrowed_vertices, narrowed_edges)
+
+
+def _shrink(store: Dict[str, Set[str]], name: str, allowed: Set[str]) -> FrozenSet[str]:
+    """Intersect a constraint with ``allowed``; return {name} when it changed."""
+    before = store[name]
+    after = before & allowed
+    if after != before:
+        store[name] = after
+        return frozenset((name,))
+    return frozenset()

@@ -1,0 +1,27 @@
+"""Query workloads used by the experiments (paper Section 8.1).
+
+* :mod:`repro.workloads.micro_queries` -- the three designed query sets:
+  ``QR1..8`` (heuristic rules), ``QT1..5`` (type inference) and
+  ``QC1..4(a|b)`` (cost-based optimization).
+* :mod:`repro.workloads.ldbc_queries` -- simplified LDBC SNB Interactive
+  (``IC1..12``) and Business Intelligence (``BI1..18``) workloads.
+* :mod:`repro.workloads.st_paths` -- the fraud-detection s-t path case study
+  (``ST1..5``).
+"""
+
+from repro.workloads.base import Query, QuerySet
+from repro.workloads.ldbc_queries import bi_queries, ic_queries, ldbc_queries
+from repro.workloads.micro_queries import qc_queries, qr_queries, qt_queries
+from repro.workloads.st_paths import st_queries
+
+__all__ = [
+    "Query",
+    "QuerySet",
+    "qr_queries",
+    "qt_queries",
+    "qc_queries",
+    "ic_queries",
+    "bi_queries",
+    "ldbc_queries",
+    "st_queries",
+]

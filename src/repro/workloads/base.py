@@ -1,0 +1,68 @@
+"""Workload query abstraction shared by all query sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.gir.plan import LogicalPlan
+from repro.lang.cypher import cypher_to_gir
+from repro.lang.gremlin import gremlin_to_gir
+
+
+@dataclass
+class Query:
+    """One benchmark query, available in Cypher and optionally Gremlin.
+
+    Queries that cannot be expressed in the supported Cypher fragment (e.g.
+    pattern-level UNION for the ComSubPattern tests) provide a
+    ``plan_factory`` building the GIR plan directly through the
+    ``GraphIrBuilder`` -- exactly what a language front-end would produce.
+    """
+
+    name: str
+    cypher: Optional[str] = None
+    gremlin: Optional[str] = None
+    parameters: Dict[str, object] = field(default_factory=dict)
+    plan_factory: Optional[Callable[[], LogicalPlan]] = None
+    description: str = ""
+    tests: str = ""
+
+    def logical_plan(self, language: str = "cypher") -> LogicalPlan:
+        """Produce the GIR logical plan for this query."""
+        if language == "gremlin":
+            if self.gremlin is None:
+                raise ValueError("query %s has no Gremlin form" % (self.name,))
+            return gremlin_to_gir(self.gremlin)
+        if self.plan_factory is not None:
+            return self.plan_factory()
+        if self.cypher is None:
+            raise ValueError("query %s has no Cypher form" % (self.name,))
+        return cypher_to_gir(self.cypher, self.parameters or None)
+
+    @property
+    def has_gremlin(self) -> bool:
+        return self.gremlin is not None
+
+
+@dataclass
+class QuerySet:
+    """A named collection of queries."""
+
+    name: str
+    queries: List[Query]
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def get(self, name: str) -> Query:
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise KeyError(name)
+
+    def names(self) -> List[str]:
+        return [q.name for q in self.queries]

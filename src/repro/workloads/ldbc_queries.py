@@ -1,0 +1,349 @@
+"""Simplified LDBC SNB Interactive (IC) and Business Intelligence (BI) workloads.
+
+The paper runs the official LDBC Cypher implementations of ``IC1..12`` and
+``BI1..14,16,17,18`` (excluding the queries that need shortest paths or stored
+procedures).  The official queries rely on many Cypher features (OPTIONAL
+MATCH chains, date arithmetic, complex CASE expressions) that are irrelevant
+to plan quality; the versions here keep the *pattern shape* (number of hops,
+cycles, join structure), the *filters* and the *relational tail* (aggregation,
+ordering, limits) of each query on the same SNB schema, which is what the
+optimizer reacts to.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Query, QuerySet
+
+
+def ic_queries() -> QuerySet:
+    """IC1..12: interactive complex-read workloads (simplified)."""
+    queries = [
+        Query(
+            name="IC1",
+            description="friends (up to 3 hops) with a given first name",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS*1..3]->(f:Person)
+                WHERE p.id = 1 AND f.firstName = 'Wei'
+                RETURN f.lastName AS lastName, count(f) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="IC2",
+            description="recent posts of friends",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post)
+                WHERE p.id = 1 AND m.creationDate > 2015
+                RETURN f.id AS friend, m.id AS message, m.creationDate AS date
+                ORDER BY date DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="IC3",
+            description="friends of friends located in a given city",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)-[:KNOWS]->(ff:Person)-[:IS_LOCATED_IN]->(c:Place)
+                WHERE p.id = 1 AND c.name = 'India City 0'
+                RETURN ff.id AS candidate, count(c) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="IC4",
+            description="new topics posted by friends",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(m:Post)-[:HAS_TAG]->(t:Tag)
+                WHERE p.id = 1
+                RETURN t.name AS topic, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 10
+            """,
+        ),
+        Query(
+            name="IC5",
+            description="new groups: forums whose member friends authored contained posts (cyclic)",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_MEMBER]-(forum:Forum)-[:CONTAINER_OF]->(m:Post)-[:HAS_CREATOR]->(f)
+                WHERE p.id = 1
+                RETURN forum.title AS forum, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="IC6",
+            description="tag co-occurrence with a given tag on friends' posts",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS*1..2]->(f:Person)<-[:HAS_CREATOR]-(m:Post)-[:HAS_TAG]->(t:Tag),
+                      (m)-[:HAS_TAG]->(other:Tag)
+                WHERE p.id = 1 AND t.name = 'Tag-3'
+                RETURN other.name AS coTag, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 10
+            """,
+        ),
+        Query(
+            name="IC7",
+            description="recent likers of a person's posts",
+            cypher="""
+                MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)<-[:LIKES]-(liker:Person)
+                WHERE p.id = 1
+                RETURN liker.id AS liker, count(m) AS likes
+                ORDER BY likes DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="IC8",
+            description="recent replies to a person's posts",
+            cypher="""
+                MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)<-[:REPLY_OF]-(c:Comment)-[:HAS_CREATOR]->(author:Person)
+                WHERE p.id = 1
+                RETURN author.id AS author, c.id AS reply, c.creationDate AS date
+                ORDER BY date DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="IC9",
+            description="recent messages by friends and friends of friends",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS*1..2]->(f:Person)<-[:HAS_CREATOR]-(m:Post)
+                WHERE p.id = 1 AND m.creationDate < 2022
+                RETURN f.id AS friend, m.id AS message, m.creationDate AS date
+                ORDER BY date DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="IC10",
+            description="friend recommendation via shared interests (cyclic)",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)-[:KNOWS]->(fof:Person)-[:HAS_INTEREST]->(t:Tag)<-[:HAS_INTEREST]-(p)
+                WHERE p.id = 1
+                RETURN fof.id AS candidate, count(t) AS commonInterests
+                ORDER BY commonInterests DESC
+                LIMIT 10
+            """,
+        ),
+        Query(
+            name="IC11",
+            description="job referral: friends working at organisations in a country",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS*1..2]->(f:Person)-[:WORK_AT]->(o:Organisation)-[:IS_LOCATED_IN]->(c:Place)
+                WHERE p.id = 1 AND c.name = 'Germany'
+                RETURN f.id AS friend, o.name AS company, count(o) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 10
+            """,
+        ),
+        Query(
+            name="IC12",
+            description="expert search: friends replying to posts of a tag class",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)<-[:HAS_CREATOR]-(c:Comment)-[:REPLY_OF]->(m:Post)-[:HAS_TAG]->(t:Tag)-[:HAS_TYPE]->(tc:TagClass)
+                WHERE p.id = 1 AND tc.name = 'Music'
+                RETURN f.id AS expert, count(c) AS replies
+                ORDER BY replies DESC
+                LIMIT 20
+            """,
+        ),
+    ]
+    return QuerySet(name="IC", queries=queries)
+
+
+def bi_queries() -> QuerySet:
+    """BI1..14, 16..18: business-intelligence workloads (simplified)."""
+    queries = [
+        Query(
+            name="BI1",
+            description="posting summary by language",
+            cypher="""
+                MATCH (m:Post)
+                WHERE m.creationDate < 2022
+                RETURN m.language AS lang, count(m) AS cnt
+                ORDER BY cnt DESC
+            """,
+        ),
+        Query(
+            name="BI2",
+            description="tag evolution: recent message counts per tag",
+            cypher="""
+                MATCH (m:Post)-[:HAS_TAG]->(t:Tag)
+                WHERE m.creationDate > 2015
+                RETURN t.name AS tag, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI3",
+            description="popular topics in a given city",
+            cypher="""
+                MATCH (m:Post)-[:IS_LOCATED_IN]->(c:Place), (m)-[:HAS_TAG]->(t:Tag)
+                WHERE c.name = 'India City 1'
+                RETURN t.name AS tag, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI4",
+            description="top message creators in a given city",
+            cypher="""
+                MATCH (p:Person)-[:IS_LOCATED_IN]->(c:Place), (m:Post)-[:HAS_CREATOR]->(p)
+                WHERE c.name = 'China City 0'
+                RETURN p.id AS person, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI5",
+            description="most active posters on a given topic",
+            cypher="""
+                MATCH (m:Post)-[:HAS_TAG]->(t:Tag), (m)-[:HAS_CREATOR]->(p:Person)
+                WHERE t.name = 'Tag-5'
+                RETURN p.id AS person, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI6",
+            description="authoritative users on a topic (creators weighted by likers)",
+            cypher="""
+                MATCH (m:Post)-[:HAS_TAG]->(t:Tag), (m)-[:HAS_CREATOR]->(p:Person),
+                      (liker:Person)-[:LIKES]->(m)
+                WHERE t.name = 'Tag-7'
+                RETURN p.id AS person, count(liker) AS popularity
+                ORDER BY popularity DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI7",
+            description="related topics via replies to tagged posts",
+            cypher="""
+                MATCH (m:Post)-[:HAS_TAG]->(t:Tag), (c:Comment)-[:REPLY_OF]->(m), (c)-[:HAS_TAG]->(other:Tag)
+                WHERE t.name = 'Tag-2'
+                RETURN other.name AS relatedTag, count(c) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI8",
+            description="central persons for a tag: interested and commenting on it",
+            cypher="""
+                MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag), (m:Comment)-[:HAS_CREATOR]->(p), (m)-[:HAS_TAG]->(t)
+                WHERE t.name = 'Tag-11'
+                RETURN p.id AS person, count(m) AS score
+                ORDER BY score DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI9",
+            description="top thread initiators by reply volume",
+            cypher="""
+                MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)<-[:REPLY_OF]-(c:Comment)
+                RETURN p.id AS person, count(c) AS replies
+                ORDER BY replies DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI10",
+            description="experts in a person's social circle for a tag class",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS*1..2]->(f:Person)<-[:HAS_CREATOR]-(m:Post)-[:HAS_TAG]->(t:Tag)-[:HAS_TYPE]->(tc:TagClass)
+                WHERE p.id = 3 AND tc.name = 'Science'
+                RETURN f.id AS expert, t.name AS tag, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI11",
+            description="friend triangles rooted in a given city",
+            cypher="""
+                MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person), (a)-[:KNOWS]->(c),
+                      (a)-[:IS_LOCATED_IN]->(pl:Place)
+                WHERE pl.name = 'India City 0'
+                RETURN count(a) AS triangles
+            """,
+        ),
+        Query(
+            name="BI12",
+            description="post popularity distribution per creator",
+            cypher="""
+                MATCH (p:Person)<-[:HAS_CREATOR]-(m:Post)<-[:LIKES]-(l:Person)
+                RETURN p.id AS person, count(l) AS likes
+                ORDER BY likes DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI13",
+            description="low-activity persons ('zombies') in a given city",
+            cypher="""
+                MATCH (p:Person)-[:IS_LOCATED_IN]->(c:Place), (m:Post)-[:HAS_CREATOR]->(p)
+                WHERE c.name = 'Japan City 0'
+                RETURN p.id AS person, count(m) AS posts
+                ORDER BY posts ASC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI14",
+            description="international dialog between two cities",
+            cypher="""
+                MATCH (a:Person)-[:IS_LOCATED_IN]->(c1:Place), (b:Person)-[:IS_LOCATED_IN]->(c2:Place),
+                      (a)-[:KNOWS]->(b)
+                WHERE c1.name = 'China City 0' AND c2.name = 'Germany City 0'
+                RETURN count(a) AS pairs
+            """,
+        ),
+        Query(
+            name="BI16",
+            description="friends posting about a person's interests (cyclic)",
+            cypher="""
+                MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag)<-[:HAS_TAG]-(m:Post)-[:HAS_CREATOR]->(f:Person),
+                      (p)-[:KNOWS]->(f)
+                RETURN p.id AS person, count(m) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 20
+            """,
+        ),
+        Query(
+            name="BI17",
+            description="information propagation: replies echoing the post's tag",
+            cypher="""
+                MATCH (t:Tag)<-[:HAS_TAG]-(m:Post)-[:HAS_CREATOR]->(p:Person),
+                      (c:Comment)-[:REPLY_OF]->(m), (c)-[:HAS_TAG]->(t)
+                WHERE t.name = 'Tag-1'
+                RETURN count(c) AS echoes
+            """,
+        ),
+        Query(
+            name="BI18",
+            description="friend recommendation by number of common interests",
+            cypher="""
+                MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag)<-[:HAS_INTEREST]-(other:Person)
+                WHERE p.id = 5
+                RETURN other.id AS candidate, count(t) AS common
+                ORDER BY common DESC
+                LIMIT 10
+            """,
+        ),
+    ]
+    return QuerySet(name="BI", queries=queries)
+
+
+def ldbc_queries() -> QuerySet:
+    """The full comprehensive-experiment workload: IC followed by BI."""
+    return QuerySet(name="LDBC", queries=list(ic_queries()) + list(bi_queries()))

@@ -1,0 +1,343 @@
+"""Micro-benchmark query sets QR, QT and QC (paper Section 8.2).
+
+All queries target the LDBC-SNB-like schema of :mod:`repro.datasets.ldbc`.
+
+* ``QR1..8``   evaluate the heuristic rules (explicit types everywhere):
+  QR1/QR2 FilterIntoPattern, QR3/QR4 FieldTrim, QR5/QR6 JoinToPattern,
+  QR7/QR8 ComSubPattern.
+* ``QT1..5``   evaluate type inference (no explicit types on some elements).
+* ``QC1..4``   evaluate the CBO on a triangle, a square, a 5-path and a
+  complex 7-vertex/8-edge pattern; the ``a`` variants use BasicTypes only and
+  the ``b`` variants use UnionTypes.
+"""
+
+from __future__ import annotations
+
+from repro.gir.builder import GraphIrBuilder
+from repro.gir.operators import AggregateFunction
+from repro.gir.pattern import PatternGraph
+from repro.gir.plan import LogicalPlan
+from repro.graph.types import BasicType, UnionType
+from repro.workloads.base import Query, QuerySet
+
+
+# -- QR: heuristic rules ------------------------------------------------------------
+
+def _qr7_plan() -> LogicalPlan:
+    """Pattern-level UNION sharing the 2-hop (p)-[:KNOWS]->(f)-[:KNOWS]->(g) (ComSubPattern)."""
+    builder = GraphIrBuilder()
+    left_pattern = PatternGraph()
+    left_pattern.add_vertex("p", BasicType("Person"))
+    left_pattern.add_vertex("f", BasicType("Person"))
+    left_pattern.add_vertex("g", BasicType("Person"))
+    left_pattern.add_vertex("m", BasicType("Post"))
+    left_pattern.add_edge("k1", "p", "f", BasicType("KNOWS"))
+    left_pattern.add_edge("k2", "f", "g", BasicType("KNOWS"))
+    left_pattern.add_edge("l", "g", "m", BasicType("LIKES"))
+    right_pattern = PatternGraph()
+    right_pattern.add_vertex("p", BasicType("Person"))
+    right_pattern.add_vertex("f", BasicType("Person"))
+    right_pattern.add_vertex("g", BasicType("Person"))
+    right_pattern.add_vertex("t", BasicType("Tag"))
+    right_pattern.add_edge("k1", "p", "f", BasicType("KNOWS"))
+    right_pattern.add_edge("k2", "f", "g", BasicType("KNOWS"))
+    right_pattern.add_edge("i", "g", "t", BasicType("HAS_INTEREST"))
+    left = builder.match_pattern(left_pattern)
+    right = builder.match_pattern(right_pattern)
+    return (left.union(right)
+            .group(keys=["p"], agg_func=AggregateFunction.COUNT, alias="cnt")
+            .order(keys=["cnt"], ascending=False, limit=20)
+            .build())
+
+
+def _qr8_plan() -> LogicalPlan:
+    """Pattern-level UNION sharing the 2-hop forum/member/knows subpattern (ComSubPattern)."""
+    builder = GraphIrBuilder()
+    left_pattern = PatternGraph()
+    left_pattern.add_vertex("forum", BasicType("Forum"))
+    left_pattern.add_vertex("p", BasicType("Person"))
+    left_pattern.add_vertex("f", BasicType("Person"))
+    left_pattern.add_vertex("c", BasicType("Place"))
+    left_pattern.add_edge("m", "forum", "p", BasicType("HAS_MEMBER"))
+    left_pattern.add_edge("k", "p", "f", BasicType("KNOWS"))
+    left_pattern.add_edge("loc", "f", "c", BasicType("IS_LOCATED_IN"))
+    right_pattern = PatternGraph()
+    right_pattern.add_vertex("forum", BasicType("Forum"))
+    right_pattern.add_vertex("p", BasicType("Person"))
+    right_pattern.add_vertex("f", BasicType("Person"))
+    right_pattern.add_vertex("o", BasicType("Organisation"))
+    right_pattern.add_edge("m", "forum", "p", BasicType("HAS_MEMBER"))
+    right_pattern.add_edge("k", "p", "f", BasicType("KNOWS"))
+    right_pattern.add_edge("w", "f", "o", BasicType("WORK_AT"))
+    left = builder.match_pattern(left_pattern)
+    right = builder.match_pattern(right_pattern)
+    return (left.union(right)
+            .group(keys=["forum"], agg_func=AggregateFunction.COUNT, alias="cnt")
+            .order(keys=["cnt"], ascending=False, limit=20)
+            .build())
+
+
+def qr_queries() -> QuerySet:
+    """QR1..8: the heuristic-rule evaluation queries (Fig. 8(a))."""
+    queries = [
+        Query(
+            name="QR1",
+            description="FilterIntoPattern: selective place filter over a 2-hop pattern",
+            tests="FilterIntoPattern",
+            cypher="""
+                MATCH (c:Place)<-[:IS_LOCATED_IN]-(f:Person)<-[:KNOWS]-(p:Person)
+                WHERE c.name = 'China City 0'
+                RETURN f.firstName AS name, count(p) AS cnt
+            """,
+            gremlin=("g.V().hasLabel('Place').as('c').has('name', 'China City 0')"
+                     ".in('IS_LOCATED_IN').hasLabel('Person').as('f')"
+                     ".in('KNOWS').hasLabel('Person').as('p').groupCount().by('f')"),
+        ),
+        Query(
+            name="QR2",
+            description="FilterIntoPattern: selective filters on a like/creator pattern",
+            tests="FilterIntoPattern",
+            cypher="""
+                MATCH (m:Post)-[:HAS_CREATOR]->(a:Person), (p:Person)-[:LIKES]->(m)
+                WHERE m.language = 'zh' AND a.browserUsed = 'Chrome'
+                RETURN count(p) AS cnt
+            """,
+            gremlin=("g.V().hasLabel('Post').as('m').has('language', 'zh')"
+                     ".out('HAS_CREATOR').hasLabel('Person').as('a').has('browserUsed', 'Chrome')"
+                     ".select('m').in('LIKES').hasLabel('Person').as('p').count()"),
+        ),
+        Query(
+            name="QR3",
+            description="FieldTrim: only the tag name and a count are needed downstream",
+            tests="FieldTrim",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)-[:HAS_INTEREST]->(t:Tag)
+                RETURN t.name AS tag, count(p) AS cnt
+                ORDER BY cnt DESC
+                LIMIT 10
+            """,
+            gremlin=("g.V().hasLabel('Person').as('p').out('KNOWS').hasLabel('Person').as('f')"
+                     ".out('HAS_INTEREST').hasLabel('Tag').as('t').groupCount().by('t')"
+                     ".order().by(values, desc).limit(10)"),
+        ),
+        Query(
+            name="QR4",
+            description="FieldTrim: forum/post/creator pattern keeping only the forum title",
+            tests="FieldTrim",
+            cypher="""
+                MATCH (forum:Forum)-[:CONTAINER_OF]->(m:Post)-[:HAS_CREATOR]->(p:Person)
+                RETURN forum.title AS title, count(m) AS posts
+                ORDER BY posts DESC
+                LIMIT 10
+            """,
+            gremlin=("g.V().hasLabel('Forum').as('forum').out('CONTAINER_OF').hasLabel('Post').as('m')"
+                     ".out('HAS_CREATOR').hasLabel('Person').as('p').groupCount().by('forum')"
+                     ".order().by(values, desc).limit(10)"),
+        ),
+        Query(
+            name="QR5",
+            description="JoinToPattern: two MATCH clauses sharing the friend variable",
+            tests="JoinToPattern",
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)
+                MATCH (f)-[:IS_LOCATED_IN]->(c:Place)
+                RETURN c.name AS place, count(p) AS cnt
+            """,
+            gremlin=("g.V().hasLabel('Person').as('p').out('KNOWS').hasLabel('Person').as('f')"
+                     ".out('IS_LOCATED_IN').hasLabel('Place').as('c').groupCount().by('c')"),
+        ),
+        Query(
+            name="QR6",
+            description="JoinToPattern: three MATCH clauses forming a liked-tagged triangle",
+            tests="JoinToPattern",
+            cypher="""
+                MATCH (a:Person)-[:LIKES]->(m:Post)
+                MATCH (m)-[:HAS_TAG]->(t:Tag)
+                MATCH (a)-[:HAS_INTEREST]->(t)
+                RETURN count(m) AS cnt
+            """,
+            gremlin=("g.V().match(__.as('a').out('LIKES').as('m'), __.as('m').out('HAS_TAG').as('t'))"
+                     ".match(__.as('a').out('HAS_INTEREST').as('t'))"
+                     ".select('a').hasLabel('Person').count()"),
+        ),
+        Query(
+            name="QR7",
+            description="ComSubPattern: UNION of two patterns sharing (p)-[:KNOWS]->(f)",
+            tests="ComSubPattern",
+            plan_factory=_qr7_plan,
+            cypher="""
+                MATCH (p:Person)-[:KNOWS]->(f:Person)-[:LIKES]->(m:Post)
+                RETURN p.id AS id, count(m) AS cnt
+                UNION ALL
+                MATCH (p:Person)-[:KNOWS]->(f:Person)-[:HAS_INTEREST]->(t:Tag)
+                RETURN p.id AS id, count(t) AS cnt
+            """,
+        ),
+        Query(
+            name="QR8",
+            description="ComSubPattern: UNION of two patterns sharing (forum)-[:HAS_MEMBER]->(p)",
+            tests="ComSubPattern",
+            plan_factory=_qr8_plan,
+            cypher="""
+                MATCH (forum:Forum)-[:HAS_MEMBER]->(p:Person)-[:IS_LOCATED_IN]->(c:Place)
+                RETURN forum.id AS id, count(p) AS cnt
+                UNION ALL
+                MATCH (forum:Forum)-[:HAS_MEMBER]->(p:Person)-[:WORK_AT]->(o:Organisation)
+                RETURN forum.id AS id, count(p) AS cnt
+            """,
+        ),
+    ]
+    return QuerySet(name="QR", queries=queries)
+
+
+# -- QT: type inference ---------------------------------------------------------------
+
+def qt_queries() -> QuerySet:
+    """QT1..5: patterns with missing type constraints (Fig. 8(b))."""
+    queries = [
+        Query(
+            name="QT1",
+            description="untyped neighbour of a Person filtered to a named place",
+            cypher="""
+                MATCH (p:Person)-[e]->(c)
+                WHERE c.name = 'China'
+                RETURN count(p) AS cnt
+            """,
+        ),
+        Query(
+            name="QT2",
+            description="two untyped hops ending at a Tag's tag class (Fig. 5 style)",
+            cypher="""
+                MATCH (v1)-[e1]->(v2)-[e2]->(v3)-[:HAS_TYPE]->(tc:TagClass)
+                RETURN count(v2) AS cnt
+            """,
+        ),
+        Query(
+            name="QT3",
+            description="untyped element between a Forum and a Tag",
+            cypher="""
+                MATCH (forum:Forum)-[e1]->(x)-[e2]->(t:Tag)
+                RETURN count(x) AS cnt
+            """,
+        ),
+        Query(
+            name="QT4",
+            description="untyped message with creator and tag (Post|Comment inferred)",
+            cypher="""
+                MATCH (m)-[:HAS_CREATOR]->(p:Person), (m)-[:HAS_TAG]->(t:Tag)
+                RETURN count(m) AS cnt
+            """,
+        ),
+        Query(
+            name="QT5",
+            description="three untyped hops ending in the TagClass hierarchy",
+            cypher="""
+                MATCH (a)-[e1]->(b)-[e2]->(c)-[:IS_SUBCLASS_OF]->(tc:TagClass)
+                RETURN count(a) AS cnt
+            """,
+        ),
+    ]
+    return QuerySet(name="QT", queries=queries)
+
+
+# -- QC: cost-based optimization --------------------------------------------------------
+
+def qc_queries() -> QuerySet:
+    """QC1..4 (a|b): triangle, square, 5-path and complex patterns (Fig. 8(c)/(d))."""
+    queries = [
+        Query(
+            name="QC1a",
+            description="triangle of KNOWS relationships (BasicTypes)",
+            cypher="""
+                MATCH (p1:Person)-[k1:KNOWS]->(p2:Person)-[k2:KNOWS]->(p3:Person),
+                      (p1)-[k3:KNOWS]->(p3)
+                RETURN count(p1) AS cnt
+            """,
+            gremlin=("g.V().match(__.as('p1').out('KNOWS').as('p2'), __.as('p2').out('KNOWS').as('p3'))"
+                     ".match(__.as('p1').out('KNOWS').as('p3')).select('p1').hasLabel('Person').count()"),
+        ),
+        Query(
+            name="QC1b",
+            description="triangle with a UnionType message vertex",
+            cypher="""
+                MATCH (p1:Person)-[:LIKES]->(m:Post|Comment)-[:HAS_TAG]->(t:Tag),
+                      (p1)-[:HAS_INTEREST]->(t)
+                RETURN count(m) AS cnt
+            """,
+            gremlin=("g.V().match(__.as('p1').out('LIKES').as('m'), __.as('m').out('HAS_TAG').as('t'))"
+                     ".match(__.as('p1').out('HAS_INTEREST').as('t'))"
+                     ".select('m').hasLabel('Post', 'Comment').count()"),
+        ),
+        Query(
+            name="QC2a",
+            description="square: person-forum-post-creator cycle (BasicTypes)",
+            cypher="""
+                MATCH (p1:Person)-[:LIKES]->(m:Post)<-[:CONTAINER_OF]-(forum:Forum),
+                      (forum)-[:HAS_MEMBER]->(p1)
+                RETURN count(m) AS cnt
+            """,
+            gremlin=("g.V().match(__.as('p1').out('LIKES').as('m'), __.as('forum').out('CONTAINER_OF').as('m'))"
+                     ".match(__.as('forum').out('HAS_MEMBER').as('p1')).select('m').hasLabel('Post').count()"),
+        ),
+        Query(
+            name="QC2b",
+            description="square with UnionType messages (Post|Comment liked and tagged)",
+            cypher="""
+                MATCH (p1:Person)-[:LIKES]->(m:Post|Comment)-[:HAS_TAG]->(t:Tag),
+                      (p2:Person)-[:LIKES]->(m),
+                      (p1)-[:KNOWS]->(p2)
+                RETURN count(m) AS cnt
+            """,
+        ),
+        Query(
+            name="QC3a",
+            description="5-path person-person-post-tag-tagclass (BasicTypes)",
+            cypher="""
+                MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:LIKES]->(m:Post)-[:HAS_TAG]->(t:Tag)-[:HAS_TYPE]->(tc:TagClass)
+                RETURN count(p1) AS cnt
+            """,
+            gremlin=("g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2')"
+                     ".out('LIKES').hasLabel('Post').as('m').out('HAS_TAG').hasLabel('Tag').as('t')"
+                     ".out('HAS_TYPE').hasLabel('TagClass').as('tc').count()"),
+        ),
+        Query(
+            name="QC3b",
+            description="5-path with UnionType messages and places",
+            cypher="""
+                MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:LIKES]->(m:Post|Comment)-[:IS_LOCATED_IN]->(c:Place)<-[:IS_LOCATED_IN]-(p3:Person)
+                RETURN count(p1) AS cnt
+            """,
+        ),
+        Query(
+            name="QC4a",
+            description="complex pattern: 7 vertices / 8 edges (BasicTypes)",
+            cypher="""
+                MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:KNOWS]->(p3:Person),
+                      (p1)-[:KNOWS]->(p3),
+                      (p2)-[:LIKES]->(m:Post)-[:HAS_TAG]->(t:Tag),
+                      (p3)-[:HAS_INTEREST]->(t),
+                      (forum:Forum)-[:CONTAINER_OF]->(m),
+                      (forum)-[:HAS_MEMBER]->(p1)
+                RETURN count(m) AS cnt
+            """,
+            gremlin=("g.V().match(__.as('p1').out('KNOWS').as('p2'), __.as('p2').out('KNOWS').as('p3'))"
+                     ".match(__.as('p1').out('KNOWS').as('p3'), __.as('p2').out('LIKES').as('m'))"
+                     ".match(__.as('m').out('HAS_TAG').as('t'), __.as('p3').out('HAS_INTEREST').as('t'))"
+                     ".match(__.as('forum').out('CONTAINER_OF').as('m'), __.as('forum').out('HAS_MEMBER').as('p1'))"
+                     ".select('m').hasLabel('Post').count()"),
+        ),
+        Query(
+            name="QC4b",
+            description="complex pattern with UnionType messages (7 vertices / 8 edges)",
+            cypher="""
+                MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:KNOWS]->(p3:Person),
+                      (p1)-[:KNOWS]->(p3),
+                      (p2)-[:LIKES]->(m:Post|Comment)-[:HAS_TAG]->(t:Tag),
+                      (p3)-[:HAS_INTEREST]->(t),
+                      (m)-[:IS_LOCATED_IN]->(c:Place),
+                      (p1)-[:IS_LOCATED_IN]->(c)
+                RETURN count(m) AS cnt
+            """,
+        ),
+    ]
+    return QuerySet(name="QC", queries=queries)

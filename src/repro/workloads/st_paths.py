@@ -1,0 +1,149 @@
+"""The s-t path case study (paper Section 8.5, Fig. 11).
+
+Fraudsters move funds through up to ``k`` intermediaries; the query looks for
+``k``-hop transfer paths between a source id set ``S1`` and a target id set
+``S2``.  The paper's insight is that the best plan is a bidirectional
+expansion joined somewhere along the path -- and that the optimal join
+position depends on the relative sizes of ``S1`` and ``S2``, which GOpt's CBO
+discovers automatically through the scan costs.
+
+The queries here unroll the ``k`` hops into explicit pattern edges so the plan
+search can choose the join position; :func:`split_plan` builds the fixed
+"join at position j" alternatives, and :func:`single_direction_plan` builds
+the Neo4j-style plan that expands all the way from ``S1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.gir.pattern import PatternGraph
+from repro.graph.types import BasicType
+from repro.optimizer.baselines import plan_from_vertex_order
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.search import PatternPlanNode
+from repro.workloads.base import Query, QuerySet
+
+DEFAULT_HOPS = 6
+
+
+def st_path_cypher(hops: int = DEFAULT_HOPS) -> str:
+    """Cypher text of the unrolled k-hop s-t path query."""
+    parts = []
+    for hop in range(hops):
+        parts.append("(p%d:Person)-[t%d:TRANSFERS]->" % (hop, hop + 1))
+    chain = "".join(parts) + "(p%d:Person)" % hops
+    return (
+        "MATCH %s\n"
+        "WHERE p0.id IN $S1 AND p%d.id IN $S2\n"
+        "RETURN count(p0) AS paths" % (chain, hops)
+    )
+
+
+def st_path_pattern(source_ids: Sequence[int], target_ids: Sequence[int],
+                    hops: int = DEFAULT_HOPS) -> PatternGraph:
+    """The unrolled path pattern with IN-list filters on both endpoints."""
+    from repro.gir.expressions import BinaryOp, Literal, Property
+
+    pattern = PatternGraph()
+    for hop in range(hops + 1):
+        pattern.add_vertex("p%d" % hop, BasicType("Person"))
+    for hop in range(hops):
+        pattern.add_edge("t%d" % (hop + 1), "p%d" % hop, "p%d" % (hop + 1),
+                         BasicType("TRANSFERS"))
+    pattern = pattern.with_vertex(
+        pattern.vertex("p0").with_predicate(
+            BinaryOp("IN", Property("p0", "id"), Literal(tuple(source_ids))))
+    )
+    pattern = pattern.with_vertex(
+        pattern.vertex("p%d" % hops).with_predicate(
+            BinaryOp("IN", Property("p%d" % hops, "id"), Literal(tuple(target_ids))))
+    )
+    return pattern
+
+
+def st_queries(id_sets: Dict[str, List[int]], hops: int = DEFAULT_HOPS) -> QuerySet:
+    """ST1..5 with different (S1, S2) size combinations (Fig. 11)."""
+    combos = [
+        ("ST1", "S1_small", "S2_large"),
+        ("ST2", "S1_large", "S2_small"),
+        ("ST3", "S1_small", "S2_small"),
+        ("ST4", "S1_large", "S2_large"),
+        ("ST5", "S2_small", "S1_small"),
+    ]
+    queries = []
+    for name, s1_key, s2_key in combos:
+        source = id_sets[s1_key]
+        target = id_sets[s2_key]
+        queries.append(Query(
+            name=name,
+            description="%d-hop transfer paths from %s (%d ids) to %s (%d ids)" % (
+                hops, s1_key, len(source), s2_key, len(target)),
+            cypher=st_path_cypher(hops),
+            parameters={"S1": list(source), "S2": list(target)},
+        ))
+    return QuerySet(name="ST", queries=queries)
+
+
+# -- hand-built plan alternatives (the paper's Alt-plans and Neo4j-plan) ----------------
+
+def single_direction_plan(pattern: PatternGraph, cost_model: CostModel,
+                          from_source: bool = True) -> PatternPlanNode:
+    """Expand the whole path from one end (the Neo4j-plan of Fig. 11)."""
+    hops = pattern.num_vertices - 1
+    order = ["p%d" % i for i in range(hops + 1)]
+    if not from_source:
+        order = list(reversed(order))
+    return plan_from_vertex_order(pattern, order, cost_model)
+
+
+def split_plan(pattern: PatternGraph, cost_model: CostModel, left_hops: int) -> PatternPlanNode:
+    """Bidirectional plan joining a ``left_hops``-hop prefix with the suffix.
+
+    ``(2, 4)`` in the paper's notation corresponds to ``left_hops = 2``.
+    """
+    hops = pattern.num_vertices - 1
+    if not 0 < left_hops < hops:
+        raise ValueError("left_hops must be strictly between 0 and %d" % hops)
+    join_vertex = "p%d" % left_hops
+    left_edges = ["t%d" % (i + 1) for i in range(left_hops)]
+    right_edges = ["t%d" % (i + 1) for i in range(left_hops, hops)]
+    left_pattern = pattern.subpattern_by_edges(left_edges)
+    right_pattern = pattern.subpattern_by_edges(right_edges)
+    left_order = ["p%d" % i for i in range(left_hops + 1)]
+    right_order = ["p%d" % i for i in range(hops, left_hops - 1, -1)]
+    left_plan = plan_from_vertex_order(left_pattern, left_order, cost_model)
+    right_plan = plan_from_vertex_order(right_pattern, right_order, cost_model)
+    join_cost = cost_model.join_step_cost(left_pattern, right_pattern, pattern)
+    return PatternPlanNode(
+        kind="join",
+        pattern=pattern,
+        cost=left_plan.cost + right_plan.cost + join_cost,
+        children=(left_plan, right_plan),
+        join_keys=(join_vertex,),
+    )
+
+
+def join_position(plan: PatternPlanNode) -> str:
+    """Describe a plan's join split as the paper does, e.g. ``"(2, 4)"``.
+
+    The topmost join in the plan tree determines the split; plans without any
+    join (single-direction expansion) are reported as ``"(k, 0)"``.
+    """
+    hops = plan.pattern.num_edges
+
+    def find_join(node: PatternPlanNode):
+        if node.kind == "join":
+            return node
+        for child in node.children:
+            found = find_join(child)
+            if found is not None:
+                return found
+        return None
+
+    join = find_join(plan)
+    if join is None:
+        return "(%d, 0)" % hops
+    left_hops = join.children[0].pattern.num_edges
+    right_hops = join.children[1].pattern.num_edges
+    return "(%d, %d)" % (left_hops, right_hops)

@@ -1,0 +1,110 @@
+"""Shared fixtures: small deterministic graphs, statistics and backends."""
+
+import pytest
+
+from repro.backend import GraphScopeLikeBackend, Neo4jLikeBackend
+from repro.datasets import finance_graph, social_commerce_graph
+from repro.datasets.ldbc import LdbcGraphGenerator
+from repro.graph.builder import GraphBuilder
+from repro.graph.schema import GraphSchema
+from repro.optimizer.cardinality import GlogueQuery
+from repro.optimizer.glogue import Glogue
+
+
+@pytest.fixture(scope="session")
+def social_graph():
+    """The Person/Product/Place running-example graph (small, deterministic)."""
+    return social_commerce_graph(num_persons=80, num_products=30, num_places=8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ldbc_graph():
+    """A tiny LDBC-SNB-like graph for integration tests."""
+    return LdbcGraphGenerator(num_persons=60, seed=5, posts_per_person=2.0,
+                              comments_per_post=1.0, num_tags=20,
+                              num_organisations=10).generate()
+
+
+@pytest.fixture(scope="session")
+def finance():
+    """Transfer graph plus id sets for the s-t path tests."""
+    graph, id_sets = finance_graph(num_persons=300, mean_transfers=3.0, seed=2)
+    return graph, id_sets
+
+
+@pytest.fixture(scope="session")
+def social_glogue(social_graph):
+    return Glogue.from_graph(social_graph)
+
+
+@pytest.fixture(scope="session")
+def ldbc_glogue(ldbc_graph):
+    return Glogue.from_graph(ldbc_graph)
+
+
+@pytest.fixture(scope="session")
+def social_gq(social_glogue):
+    return GlogueQuery(social_glogue)
+
+
+@pytest.fixture(scope="session")
+def ldbc_gq(ldbc_glogue):
+    return GlogueQuery(ldbc_glogue)
+
+
+@pytest.fixture()
+def graphscope_backend(ldbc_graph):
+    return GraphScopeLikeBackend(ldbc_graph, num_partitions=4,
+                                 max_intermediate_results=500_000, timeout_seconds=20.0)
+
+
+@pytest.fixture()
+def neo4j_backend(ldbc_graph):
+    return Neo4jLikeBackend(ldbc_graph, max_intermediate_results=500_000, timeout_seconds=20.0)
+
+
+@pytest.fixture()
+def social_backend(social_graph):
+    return GraphScopeLikeBackend(social_graph, num_partitions=2,
+                                 max_intermediate_results=500_000, timeout_seconds=20.0)
+
+
+@pytest.fixture()
+def tiny_schema():
+    """A hand-written schema used by unit tests (matches the paper's Fig. 5)."""
+    schema = GraphSchema()
+    schema.add_vertex_type("Person", {"id": "int", "name": "string"})
+    schema.add_vertex_type("Product", {"id": "int", "name": "string"})
+    schema.add_vertex_type("Place", {"id": "int", "name": "string"})
+    schema.add_edge_type("Knows", "Person", "Person")
+    schema.add_edge_type("Purchases", "Person", "Product")
+    schema.add_edge_type("LocatedIn", "Person", "Place")
+    schema.add_edge_type("ProducedIn", "Product", "Place")
+    return schema
+
+
+@pytest.fixture()
+def tiny_graph(tiny_schema):
+    """A 10-vertex graph with known, hand-countable pattern frequencies."""
+    builder = GraphBuilder(schema=tiny_schema, validate=True)
+    for i in range(4):
+        builder.add_vertex(("Person", i), "Person", {"id": i, "name": "person-%d" % i})
+    for i in range(3):
+        builder.add_vertex(("Product", i), "Product", {"id": i, "name": "product-%d" % i})
+    for i in range(2):
+        builder.add_vertex(("Place", i), "Place", {"id": i, "name": "place-%d" % i})
+    # friendships: 0->1, 1->2, 2->0 (a triangle), 0->3
+    builder.add_edge(("Person", 0), ("Person", 1), "Knows")
+    builder.add_edge(("Person", 1), ("Person", 2), "Knows")
+    builder.add_edge(("Person", 2), ("Person", 0), "Knows")
+    builder.add_edge(("Person", 0), ("Person", 3), "Knows")
+    # purchases: person i buys product i % 3; person 0 also buys product 1
+    for i in range(4):
+        builder.add_edge(("Person", i), ("Product", i % 3), "Purchases")
+    builder.add_edge(("Person", 0), ("Product", 1), "Purchases")
+    # placement
+    for i in range(4):
+        builder.add_edge(("Person", i), ("Place", i % 2), "LocatedIn")
+    for i in range(3):
+        builder.add_edge(("Product", i), ("Place", i % 2), "ProducedIn")
+    return builder.build()

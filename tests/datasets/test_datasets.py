@@ -1,0 +1,112 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    LDBC_SCALE_FACTORS,
+    LdbcGraphGenerator,
+    finance_graph,
+    ldbc_snb_graph,
+    social_commerce_graph,
+    social_commerce_schema,
+)
+from repro.datasets.ldbc import ldbc_schema
+
+
+class TestSocialCommerce:
+    def test_schema_types(self):
+        schema = social_commerce_schema()
+        assert set(schema.vertex_types) == {"Person", "Product", "Place"}
+        assert schema.has_triple("Person", "Knows", "Person")
+        assert schema.has_triple("Product", "ProducedIn", "Place")
+
+    def test_generation_is_deterministic(self):
+        a = social_commerce_graph(num_persons=40, seed=9)
+        b = social_commerce_graph(num_persons=40, seed=9)
+        assert a.num_vertices == b.num_vertices
+        assert a.num_edges == b.num_edges
+
+    def test_every_person_has_a_place(self):
+        graph = social_commerce_graph(num_persons=30, seed=1)
+        for vid in graph.vertices_of_type("Person"):
+            assert len(graph.out_edges(vid, "LocatedIn")) >= 1
+
+    def test_china_place_exists(self):
+        graph = social_commerce_graph(num_persons=10, seed=1)
+        names = {graph.vertex_property(v, "name") for v in graph.vertices_of_type("Place")}
+        assert "China" in names
+
+    def test_respects_schema(self):
+        graph = social_commerce_graph(num_persons=25, seed=2)
+        schema = graph.schema
+        for eid in graph.edges():
+            edge = graph.edge(eid)
+            assert schema.has_triple(
+                graph.vertex_type(edge.src), edge.label, graph.vertex_type(edge.dst))
+
+
+class TestLdbc:
+    def test_scale_names(self):
+        assert set(LDBC_SCALE_FACTORS) == {"G30", "G100", "G300", "G1000"}
+        with pytest.raises(ValueError):
+            ldbc_snb_graph("G9999")
+
+    def test_scales_are_increasing(self):
+        assert (LDBC_SCALE_FACTORS["G30"] < LDBC_SCALE_FACTORS["G100"]
+                < LDBC_SCALE_FACTORS["G300"] < LDBC_SCALE_FACTORS["G1000"])
+
+    def test_schema_has_snb_core_triples(self):
+        schema = ldbc_schema()
+        assert schema.has_triple("Person", "KNOWS", "Person")
+        assert schema.has_triple("Post", "HAS_CREATOR", "Person")
+        assert schema.has_triple("Comment", "REPLY_OF", "Post")
+        assert schema.has_triple("Forum", "CONTAINER_OF", "Post")
+        assert schema.has_triple("Tag", "HAS_TYPE", "TagClass")
+
+    def test_generation(self, ldbc_graph):
+        counts = ldbc_graph.counts_by_vertex_type()
+        assert counts["Person"] == 60
+        assert counts["Post"] > 0
+        assert counts["Comment"] > 0
+        assert ldbc_graph.num_edges > ldbc_graph.num_vertices
+
+    def test_every_post_has_creator_and_forum(self, ldbc_graph):
+        for vid in ldbc_graph.vertices_of_type("Post"):
+            assert len(ldbc_graph.out_edges(vid, "HAS_CREATOR")) == 1
+            assert len(ldbc_graph.in_edges(vid, "CONTAINER_OF")) == 1
+
+    def test_knows_degree_is_skewed(self):
+        graph = LdbcGraphGenerator(num_persons=200, seed=7).generate()
+        degrees = sorted(
+            (graph.out_degree(v, "KNOWS") for v in graph.vertices_of_type("Person")),
+            reverse=True,
+        )
+        # the top decile should hold a disproportionate share of edges
+        top = sum(degrees[: len(degrees) // 10])
+        assert top > sum(degrees) * 0.2
+
+    def test_determinism(self):
+        a = LdbcGraphGenerator(num_persons=50, seed=3).generate()
+        b = LdbcGraphGenerator(num_persons=50, seed=3).generate()
+        assert a.counts_by_edge_label() == b.counts_by_edge_label()
+
+
+class TestFinance:
+    def test_structure(self, finance):
+        graph, id_sets = finance
+        assert set(id_sets) == {"S1_small", "S1_large", "S2_small", "S2_large"}
+        assert len(id_sets["S1_small"]) < len(id_sets["S1_large"])
+        counts = graph.counts_by_vertex_type()
+        assert counts["Person"] == counts["Account"]
+
+    def test_person_level_transfers_exist(self, finance):
+        graph, _ = finance
+        triples = graph.counts_by_edge_triple()
+        assert triples.get(("Person", "TRANSFERS", "Person"), 0) > 0
+        assert triples.get(("Account", "TRANSFERS", "Account"), 0) > 0
+
+    def test_id_property_matches_vertex(self, finance):
+        graph, id_sets = finance
+        ids = {graph.vertex_property(v, "id") for v in graph.vertices_of_type("Person")}
+        for person_id in id_sets["S1_small"]:
+            assert person_id in ids

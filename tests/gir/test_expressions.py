@@ -1,0 +1,167 @@
+"""Tests for the expression mini-language: parsing, analysis and evaluation."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.gir.expressions import (
+    BinaryOp,
+    ExpressionEvaluator,
+    FunctionCall,
+    Literal,
+    Property,
+    TagRef,
+    UnaryOp,
+    conjoin,
+    conjuncts,
+    parse_expression,
+)
+
+
+class TestParsing:
+    def test_property_equality(self):
+        expr = parse_expression("v3.name = 'China'")
+        assert expr == BinaryOp("=", Property("v3", "name"), Literal("China"))
+
+    def test_numeric_comparison(self):
+        expr = parse_expression("p.age >= 21")
+        assert expr == BinaryOp(">=", Property("p", "age"), Literal(21))
+
+    def test_float_literal(self):
+        expr = parse_expression("x.score > 0.5")
+        assert expr.right == Literal(0.5)
+
+    def test_boolean_connectives(self):
+        expr = parse_expression("a.x = 1 AND (b.y = 2 OR NOT c.z = 3)")
+        assert isinstance(expr, BinaryOp) and expr.op == "AND"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "OR"
+        assert isinstance(expr.right.right, UnaryOp) and expr.right.right.op == "NOT"
+
+    def test_in_list(self):
+        expr = parse_expression("p.id IN [1, 2, 3]")
+        assert expr == BinaryOp("IN", Property("p", "id"), Literal((1, 2, 3)))
+
+    def test_in_string_list(self):
+        expr = parse_expression("p.name IN ['a', 'b']")
+        assert expr.right == Literal(("a", "b"))
+
+    def test_tag_reference(self):
+        assert parse_expression("v2") == TagRef("v2")
+
+    def test_function_call(self):
+        expr = parse_expression("count(v)")
+        assert expr == FunctionCall("count", (TagRef("v"),))
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("a.x + 2 * 3 = 7")
+        assert isinstance(expr.left, BinaryOp) and expr.left.op == "+"
+        assert isinstance(expr.left.right, BinaryOp) and expr.left.right.op == "*"
+
+    def test_unary_minus_folds_numeric_literal(self):
+        expr = parse_expression("a.x > -5")
+        assert expr.right == Literal(-5)
+
+    def test_unary_minus_on_property_stays_unary(self):
+        expr = parse_expression("a.x > -(b.y)")
+        assert isinstance(expr.right, UnaryOp)
+
+    def test_true_false_null(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("false") == Literal(False)
+        assert parse_expression("null") == Literal(None)
+
+    def test_not_equal_variants(self):
+        assert parse_expression("a.x <> 1").op == "<>"
+        assert parse_expression("a.x != 1").op == "!="
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("a.x = 'oops")
+
+    def test_trailing_input_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("a.x = 1 extra")
+
+    def test_empty_expression_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("")
+
+
+class TestAnalysis:
+    def test_referenced_tags(self):
+        expr = parse_expression("a.x = 1 AND b.y = c.z")
+        assert expr.referenced_tags() == {"a", "b", "c"}
+
+    def test_referenced_tags_includes_bare_tags(self):
+        assert parse_expression("count(v2)").referenced_tags() == {"v2"}
+
+    def test_referenced_properties(self):
+        expr = parse_expression("a.x = 1 AND b.y > 2")
+        assert expr.referenced_properties() == {("a", "x"), ("b", "y")}
+
+    def test_conjuncts_split(self):
+        expr = parse_expression("a.x = 1 AND b.y = 2 AND c.z = 3")
+        assert len(conjuncts(expr)) == 3
+
+    def test_conjuncts_do_not_split_or(self):
+        expr = parse_expression("a.x = 1 OR b.y = 2")
+        assert conjuncts(expr) == [expr]
+
+    def test_conjoin_roundtrip(self):
+        parts = conjuncts(parse_expression("a.x = 1 AND b.y = 2"))
+        combined = conjoin(parts)
+        assert conjuncts(combined) == parts
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+
+class TestEvaluation:
+    @pytest.fixture()
+    def evaluator(self):
+        data = {
+            "a": {"x": 1, "name": "alpha"},
+            "b": {"y": 5},
+        }
+
+        def resolve_tag(tag, binding):
+            return binding.get(tag)
+
+        def resolve_property(tag, key, binding):
+            return data.get(tag, {}).get(key)
+
+        return ExpressionEvaluator(resolve_tag, resolve_property,
+                                   functions={"length": len})
+
+    def test_comparisons(self, evaluator):
+        assert evaluator.evaluate(parse_expression("a.x = 1"), {}) is True
+        assert evaluator.evaluate(parse_expression("a.x > 5"), {}) is False
+        assert evaluator.evaluate(parse_expression("b.y <= 5"), {}) is True
+        assert evaluator.evaluate(parse_expression("a.name = 'alpha'"), {}) is True
+
+    def test_boolean_logic(self, evaluator):
+        assert evaluator.evaluate(parse_expression("a.x = 1 AND b.y = 5"), {}) is True
+        assert evaluator.evaluate(parse_expression("a.x = 2 OR b.y = 5"), {}) is True
+        assert evaluator.evaluate(parse_expression("NOT a.x = 2"), {}) is True
+
+    def test_in_operator(self, evaluator):
+        assert evaluator.evaluate(parse_expression("a.x IN [1, 2]"), {}) is True
+        assert evaluator.evaluate(parse_expression("a.x IN [3, 4]"), {}) is False
+
+    def test_arithmetic(self, evaluator):
+        assert evaluator.evaluate(parse_expression("a.x + b.y = 6"), {}) is True
+        assert evaluator.evaluate(parse_expression("b.y % 2 = 1"), {}) is True
+
+    def test_null_propagation(self, evaluator):
+        # missing property compares as not-ordered -> False, arithmetic -> None
+        assert evaluator.evaluate(parse_expression("a.missing > 1"), {}) is False
+        assert evaluator.evaluate(parse_expression("a.missing + 1 = 2"), {}) is False
+
+    def test_tag_resolution(self, evaluator):
+        assert evaluator.evaluate(parse_expression("v"), {"v": 42}) == 42
+
+    def test_function_call(self, evaluator):
+        assert evaluator.evaluate(parse_expression("length('abc') = 3"), {}) is True
+
+    def test_unknown_function_raises(self, evaluator):
+        with pytest.raises(ValueError):
+            evaluator.evaluate(parse_expression("mystery(1)"), {})

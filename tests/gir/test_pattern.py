@@ -1,0 +1,203 @@
+"""Tests for pattern graphs: construction, subpatterns, merging, canonical keys."""
+
+import pytest
+
+from repro.errors import GirBuildError
+from repro.gir.expressions import parse_expression
+from repro.gir.pattern import PathConstraint, PatternGraph
+from repro.graph.types import AllType, BasicType, UnionType
+
+
+@pytest.fixture()
+def triangle():
+    pattern = PatternGraph()
+    pattern.add_vertex("a", BasicType("Person"))
+    pattern.add_vertex("b", BasicType("Person"))
+    pattern.add_vertex("c", BasicType("Place"))
+    pattern.add_edge("e1", "a", "b", BasicType("Knows"))
+    pattern.add_edge("e2", "b", "c", BasicType("LocatedIn"))
+    pattern.add_edge("e3", "a", "c", BasicType("LocatedIn"))
+    return pattern
+
+
+class TestConstruction:
+    def test_vertex_and_edge_counts(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+        assert set(triangle.vertex_names) == {"a", "b", "c"}
+
+    def test_edge_requires_existing_vertices(self):
+        pattern = PatternGraph()
+        pattern.add_vertex("a")
+        with pytest.raises(GirBuildError):
+            pattern.add_edge("e", "a", "missing")
+
+    def test_duplicate_edge_rejected(self, triangle):
+        with pytest.raises(GirBuildError):
+            triangle.add_edge("e1", "a", "b")
+
+    def test_invalid_hop_range_rejected(self):
+        pattern = PatternGraph()
+        pattern.add_vertex("a")
+        pattern.add_vertex("b")
+        with pytest.raises(GirBuildError):
+            pattern.add_edge("p", "a", "b", min_hops=3, max_hops=2)
+
+    def test_re_adding_vertex_merges_constraints(self):
+        pattern = PatternGraph()
+        pattern.add_vertex("a", UnionType("Post", "Comment"))
+        pattern.add_vertex("a", BasicType("Post"))
+        assert pattern.vertex("a").constraint == BasicType("Post")
+
+    def test_default_constraint_is_all(self):
+        pattern = PatternGraph()
+        pattern.add_vertex("a")
+        assert pattern.vertex("a").constraint.is_all
+
+    def test_unknown_lookup_raises(self, triangle):
+        with pytest.raises(GirBuildError):
+            triangle.vertex("zzz")
+        with pytest.raises(GirBuildError):
+            triangle.edge("zzz")
+
+
+class TestTopology:
+    def test_incident_and_neighbors(self, triangle):
+        assert {e.name for e in triangle.incident_edges("a")} == {"e1", "e3"}
+        assert set(triangle.neighbors("a")) == {"b", "c"}
+        assert triangle.degree("b") == 2
+
+    def test_out_in_edges(self, triangle):
+        assert {e.name for e in triangle.out_edges("a")} == {"e1", "e3"}
+        assert {e.name for e in triangle.in_edges("c")} == {"e2", "e3"}
+
+    def test_edge_helpers(self, triangle):
+        edge = triangle.edge("e1")
+        assert edge.other_endpoint("a") == "b"
+        assert edge.direction_from("a").value == "out"
+        assert edge.direction_from("b").value == "in"
+        with pytest.raises(GirBuildError):
+            edge.other_endpoint("c")
+
+    def test_connectivity(self, triangle):
+        assert triangle.is_connected()
+        disconnected = PatternGraph()
+        disconnected.add_vertex("x")
+        disconnected.add_vertex("y")
+        assert not disconnected.is_connected()
+
+    def test_path_edges_flag(self):
+        pattern = PatternGraph()
+        pattern.add_vertex("a")
+        pattern.add_vertex("b")
+        pattern.add_edge("p", "a", "b", min_hops=1, max_hops=3,
+                         path_constraint=PathConstraint.SIMPLE)
+        assert pattern.has_path_edges()
+        assert pattern.edge("p").is_path
+
+
+class TestFunctionalUpdates:
+    def test_with_vertex_constraint(self, triangle):
+        updated = triangle.with_vertex_constraint("a", UnionType("Person", "Product"))
+        assert updated.vertex("a").constraint == UnionType("Person", "Product")
+        assert triangle.vertex("a").constraint == BasicType("Person")  # original untouched
+
+    def test_with_edge_constraint(self, triangle):
+        updated = triangle.with_edge_constraint("e1", AllType())
+        assert updated.edge("e1").constraint.is_all
+
+    def test_with_edge_cannot_change_endpoints(self, triangle):
+        moved = triangle.edge("e1").__class__(
+            name="e1", src="a", dst="c", constraint=AllType())
+        with pytest.raises(GirBuildError):
+            triangle.with_edge(moved)
+
+    def test_predicate_attachment(self, triangle):
+        predicate = parse_expression("c.name = 'China'")
+        updated = triangle.with_vertex(triangle.vertex("c").with_predicate(predicate))
+        assert len(updated.vertex("c").predicates) == 1
+        assert len(triangle.vertex("c").predicates) == 0
+
+    def test_columns_attachment(self, triangle):
+        updated = triangle.with_vertex(triangle.vertex("c").with_columns(["name"]))
+        assert updated.vertex("c").columns == frozenset({"name"})
+
+
+class TestSubpatterns:
+    def test_subpattern_by_edges(self, triangle):
+        sub = triangle.subpattern_by_edges(["e1"])
+        assert set(sub.vertex_names) == {"a", "b"}
+        assert set(sub.edge_names) == {"e1"}
+
+    def test_subpattern_preserves_constraints(self, triangle):
+        sub = triangle.subpattern_by_edges(["e2"])
+        assert sub.vertex("c").constraint == BasicType("Place")
+
+    def test_single_vertex_pattern(self, triangle):
+        single = triangle.single_vertex_pattern("a")
+        assert single.num_vertices == 1
+        assert single.num_edges == 0
+
+    def test_common_vertices_and_edges(self, triangle):
+        other = triangle.subpattern_by_edges(["e1", "e2"])
+        assert triangle.common_vertices(other) == frozenset({"a", "b", "c"})
+        assert triangle.common_edges(other) == frozenset({"e1", "e2"})
+
+    def test_merge_joins_on_shared_names(self):
+        left = PatternGraph()
+        left.add_vertex("a", BasicType("Person"))
+        left.add_vertex("b", AllType())
+        left.add_edge("e1", "a", "b")
+        right = PatternGraph()
+        right.add_vertex("b", BasicType("Product"))
+        right.add_vertex("c", BasicType("Place"))
+        right.add_edge("e2", "b", "c")
+        merged = left.merge(right)
+        assert merged.num_vertices == 3
+        assert merged.num_edges == 2
+        assert merged.vertex("b").constraint == BasicType("Product")
+
+    def test_merge_conflicting_edge_endpoints_rejected(self):
+        left = PatternGraph()
+        left.add_vertex("a")
+        left.add_vertex("b")
+        left.add_edge("e", "a", "b")
+        right = PatternGraph()
+        right.add_vertex("a")
+        right.add_vertex("b")
+        right.add_edge("e", "b", "a")
+        with pytest.raises(GirBuildError):
+            left.merge(right)
+
+
+class TestCanonicalKeys:
+    def test_key_invariant_under_renaming(self):
+        p1 = PatternGraph()
+        p1.add_vertex("x", BasicType("Person"))
+        p1.add_vertex("y", BasicType("Place"))
+        p1.add_edge("e", "x", "y", BasicType("LocatedIn"))
+        p2 = PatternGraph()
+        p2.add_vertex("first", BasicType("Person"))
+        p2.add_vertex("second", BasicType("Place"))
+        p2.add_edge("edge", "first", "second", BasicType("LocatedIn"))
+        assert p1.canonical_key() == p2.canonical_key()
+
+    def test_key_distinguishes_direction(self):
+        p1 = PatternGraph()
+        p1.add_vertex("x", BasicType("A"))
+        p1.add_vertex("y", BasicType("B"))
+        p1.add_edge("e", "x", "y", BasicType("E"))
+        p2 = PatternGraph()
+        p2.add_vertex("x", BasicType("A"))
+        p2.add_vertex("y", BasicType("B"))
+        p2.add_edge("e", "y", "x", BasicType("E"))
+        assert p1.canonical_key() != p2.canonical_key()
+
+    def test_key_distinguishes_types(self, triangle):
+        other = triangle.with_vertex_constraint("c", BasicType("Product"))
+        assert triangle.canonical_key() != other.canonical_key()
+
+    def test_describe_mentions_all_elements(self, triangle):
+        text = triangle.describe()
+        for name in ("a", "b", "c", "e1", "e2", "e3"):
+            assert name in text

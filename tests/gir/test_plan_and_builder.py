@@ -1,0 +1,240 @@
+"""Tests for logical operators, plans, and the GraphIrBuilder."""
+
+import pytest
+
+from repro.errors import GirBuildError
+from repro.gir import GraphIrBuilder
+from repro.gir.data_model import DataType, Field, RecordSchema
+from repro.gir.expressions import TagRef, parse_expression
+from repro.gir.operators import (
+    AggregateFunction,
+    GroupOp,
+    JoinOp,
+    JoinType,
+    LimitOp,
+    MatchPatternOp,
+    OrderOp,
+    ProjectOp,
+    SelectOp,
+    UnionOp,
+    infer_output_schema,
+)
+from repro.gir.pattern import PatternGraph
+from repro.graph.types import AllType, BasicType, Direction
+
+
+def simple_pattern():
+    pattern = PatternGraph()
+    pattern.add_vertex("a", BasicType("Person"))
+    pattern.add_vertex("b", BasicType("Place"))
+    pattern.add_edge("e", "a", "b", BasicType("LocatedIn"))
+    return pattern
+
+
+class TestOperators:
+    def test_match_output_tags(self):
+        op = MatchPatternOp(pattern=simple_pattern())
+        assert op.output_tags() == {"a", "b", "e"}
+
+    def test_select_referenced_tags(self):
+        op = SelectOp(predicate=parse_expression("a.name = 'x' AND b.id = 1"))
+        assert op.referenced_tags() == {"a", "b"}
+
+    def test_with_inputs_returns_new_node(self):
+        child = MatchPatternOp(pattern=simple_pattern())
+        op = SelectOp(predicate=parse_expression("a.id = 1"))
+        chained = op.with_inputs((child,))
+        assert chained.inputs == (child,)
+        assert op.inputs == ()
+
+    def test_group_output_tags(self):
+        from repro.gir.operators import AggregateCall, ProjectItem
+
+        op = GroupOp(
+            keys=(ProjectItem(TagRef("a"), "a"),),
+            aggregations=(AggregateCall(AggregateFunction.COUNT, None, "cnt"),),
+        )
+        assert op.output_tags() == {"a", "cnt"}
+        assert op.referenced_tags() == {"a"}
+
+    def test_describe_strings(self):
+        match = MatchPatternOp(pattern=simple_pattern())
+        assert "MATCH_PATTERN" in match.describe()
+        join = JoinOp(keys=("a",), inputs=(match, match))
+        assert "JOIN" in join.describe()
+        union = UnionOp(inputs=(match, match))
+        assert "UNION" in union.describe()
+
+    def test_infer_output_schema_for_match(self):
+        schema = infer_output_schema(MatchPatternOp(pattern=simple_pattern()))
+        assert "a" in schema and "e" in schema
+        assert schema.field("a").datatype == DataType.VERTEX
+        assert schema.field("e").datatype == DataType.EDGE
+
+
+class TestRecordSchema:
+    def test_with_field_replaces(self):
+        schema = RecordSchema((Field("a", DataType.VERTEX),))
+        updated = schema.with_field(Field("a", DataType.INTEGER))
+        assert updated.field("a").datatype == DataType.INTEGER
+        assert len(updated) == 1
+
+    def test_merge_and_without(self):
+        left = RecordSchema((Field("a"),))
+        right = RecordSchema((Field("b"),))
+        merged = left.merge(right)
+        assert merged.names == ("a", "b")
+        assert merged.without(["a"]).names == ("b",)
+
+    def test_graph_type_flag(self):
+        assert DataType.VERTEX.is_graph_type
+        assert not DataType.INTEGER.is_graph_type
+
+
+class TestGraphIrBuilder:
+    def build_two_hop(self):
+        builder = GraphIrBuilder()
+        return (builder.pattern_start()
+                .get_v(alias="v1", vtype=BasicType("Person"))
+                .expand_e(tag="v1", alias="e1", etype=AllType(), direction=Direction.OUT)
+                .get_v(tag="e1", alias="v2", vtype=AllType())
+                .pattern_end())
+
+    def test_pattern_sentence(self):
+        handle = self.build_two_hop()
+        plan = handle.build()
+        match = plan.root
+        assert isinstance(match, MatchPatternOp)
+        assert set(match.pattern.vertex_names) == {"v1", "v2"}
+        assert set(match.pattern.edge_names) == {"e1"}
+
+    def test_incoming_expansion_reverses_edge(self):
+        builder = GraphIrBuilder()
+        handle = (builder.pattern_start()
+                  .get_v(alias="a", vtype=BasicType("Place"))
+                  .expand_e(tag="a", alias="e", direction=Direction.IN)
+                  .get_v(tag="e", alias="b", vtype=BasicType("Person"))
+                  .pattern_end())
+        pattern = handle.root.pattern
+        edge = pattern.edge("e")
+        assert edge.src == "b" and edge.dst == "a"
+
+    def test_dangling_expand_rejected(self):
+        builder = GraphIrBuilder()
+        sentence = (builder.pattern_start()
+                    .get_v(alias="a")
+                    .expand_e(tag="a", alias="e"))
+        with pytest.raises(GirBuildError):
+            sentence.pattern_end()
+
+    def test_get_v_with_tag_requires_pending_edge(self):
+        builder = GraphIrBuilder()
+        sentence = builder.pattern_start().get_v(alias="a")
+        with pytest.raises(GirBuildError):
+            sentence.get_v(tag="missing", alias="b")
+
+    def test_empty_pattern_rejected(self):
+        builder = GraphIrBuilder()
+        with pytest.raises(GirBuildError):
+            builder.pattern_start().pattern_end()
+        with pytest.raises(GirBuildError):
+            builder.match_pattern(PatternGraph())
+
+    def test_relational_chain(self):
+        handle = self.build_two_hop()
+        plan = (handle.select("v2.name = 'x'")
+                .group(keys=["v1"], agg_func=AggregateFunction.COUNT, alias="cnt")
+                .order(keys=["cnt"], limit=5)
+                .build())
+        ops = [type(node).__name__ for node in plan.nodes()]
+        assert ops == ["MatchPatternOp", "SelectOp", "GroupOp", "OrderOp"]
+        assert plan.root.limit == 5
+
+    def test_group_requires_aggregation(self):
+        handle = self.build_two_hop()
+        with pytest.raises(GirBuildError):
+            handle.group(keys=["v1"])
+
+    def test_join_and_union(self):
+        left = self.build_two_hop()
+        right = self.build_two_hop()
+        joined = left.join(right, keys=["v1"]).build()
+        assert isinstance(joined.root, JoinOp)
+        unioned = left.union(right).build()
+        assert isinstance(unioned.root, UnionOp)
+
+    def test_match_composition_requires_common_tags(self):
+        builder = GraphIrBuilder()
+        left = self.build_two_hop()
+        other = (builder.pattern_start()
+                 .get_v(alias="x1", vtype=BasicType("Person"))
+                 .expand_e(tag="x1", alias="y1", direction=Direction.OUT)
+                 .get_v(tag="y1", alias="x2")
+                 .pattern_end())
+        with pytest.raises(GirBuildError):
+            left.match(other)
+
+    def test_camel_case_aliases(self):
+        builder = GraphIrBuilder()
+        sentence = builder.patternStart()
+        handle = (sentence.getV(alias="v1", vtype=AllType())
+                  .expandE(tag="v1", alias="e1")
+                  .getV(tag="e1", alias="v2")
+                  .patternEnd())
+        assert isinstance(handle.root, MatchPatternOp)
+
+    def test_limit_and_project(self):
+        handle = self.build_two_hop()
+        plan = handle.project([("v2.name", "name")]).limit(3).build()
+        assert isinstance(plan.root, LimitOp)
+        assert isinstance(plan.root.inputs[0], ProjectOp)
+
+
+class TestLogicalPlan:
+    def test_traversal_and_size(self):
+        builder = GraphIrBuilder()
+        handle = (builder.pattern_start()
+                  .get_v(alias="a").expand_e(tag="a", alias="e").get_v(tag="e", alias="b")
+                  .pattern_end()
+                  .select("b.x = 1")
+                  .limit(10))
+        plan = handle.build()
+        assert plan.size() == 3
+        assert plan.depth() == 3
+        assert len(plan.patterns()) == 1
+
+    def test_transform_replaces_nodes(self):
+        builder = GraphIrBuilder()
+        plan = (builder.pattern_start()
+                .get_v(alias="a").expand_e(tag="a", alias="e").get_v(tag="e", alias="b")
+                .pattern_end()
+                .limit(10)
+                .build())
+
+        def bump_limit(node):
+            if isinstance(node, LimitOp):
+                return LimitOp(count=node.count * 2, inputs=node.inputs)
+            return node
+
+        rewritten = plan.transform(bump_limit)
+        assert rewritten.root.count == 20
+        assert plan.root.count == 10  # original untouched
+
+    def test_downstream_referenced_tags(self):
+        builder = GraphIrBuilder()
+        match = (builder.pattern_start()
+                 .get_v(alias="a").expand_e(tag="a", alias="e").get_v(tag="e", alias="b")
+                 .pattern_end())
+        plan = match.select("b.name = 'x'").build()
+        tags = plan.downstream_referenced_tags(plan.patterns()[0])
+        assert tags == {"b"}
+
+    def test_explain_contains_operator_names(self):
+        builder = GraphIrBuilder()
+        plan = (builder.pattern_start()
+                .get_v(alias="a").expand_e(tag="a", alias="e").get_v(tag="e", alias="b")
+                .pattern_end()
+                .select("a.x = 1")
+                .build())
+        text = plan.explain()
+        assert "SELECT" in text and "MATCH_PATTERN" in text

@@ -1,0 +1,134 @@
+"""Unit tests for type constraints and directions."""
+
+import pytest
+
+from repro.graph.types import AllType, BasicType, Direction, TypeConstraint, UnionType
+
+
+class TestConstructors:
+    def test_basic_type_is_basic(self):
+        constraint = BasicType("Person")
+        assert constraint.is_basic
+        assert not constraint.is_union
+        assert not constraint.is_all
+        assert constraint.single_type == "Person"
+
+    def test_union_type_varargs(self):
+        constraint = UnionType("Post", "Comment")
+        assert constraint.is_union
+        assert constraint.types == frozenset({"Post", "Comment"})
+
+    def test_union_type_iterable(self):
+        constraint = UnionType(["Post", "Comment"])
+        assert constraint.types == frozenset({"Post", "Comment"})
+
+    def test_union_of_one_is_basic(self):
+        assert UnionType("Post").is_basic
+
+    def test_all_type(self):
+        constraint = AllType()
+        assert constraint.is_all
+        assert constraint.types is None
+
+    def test_empty(self):
+        constraint = TypeConstraint.empty()
+        assert constraint.is_empty
+        assert not constraint.is_basic
+
+    def test_coerce_none_is_all(self):
+        assert TypeConstraint.coerce(None).is_all
+
+    def test_coerce_string_is_basic(self):
+        assert TypeConstraint.coerce("Person") == BasicType("Person")
+
+    def test_coerce_list_is_union(self):
+        assert TypeConstraint.coerce(["A", "B"]) == UnionType("A", "B")
+
+    def test_coerce_passthrough(self):
+        constraint = BasicType("A")
+        assert TypeConstraint.coerce(constraint) is constraint
+
+    def test_single_type_raises_for_union(self):
+        with pytest.raises(ValueError):
+            UnionType("A", "B").single_type
+
+
+class TestSetOperations:
+    def test_contains_basic(self):
+        assert BasicType("Person").contains("Person")
+        assert not BasicType("Person").contains("Place")
+
+    def test_contains_all(self):
+        assert AllType().contains("Anything")
+
+    def test_contains_empty(self):
+        assert not TypeConstraint.empty().contains("Person")
+
+    def test_intersect_basic_union(self):
+        result = UnionType("A", "B").intersect(BasicType("B"))
+        assert result == BasicType("B")
+
+    def test_intersect_with_all_returns_other(self):
+        assert AllType().intersect(UnionType("A", "B")) == UnionType("A", "B")
+        assert UnionType("A", "B").intersect(AllType()) == UnionType("A", "B")
+
+    def test_intersect_disjoint_is_empty(self):
+        assert BasicType("A").intersect(BasicType("B")).is_empty
+
+    def test_intersect_accepts_iterable(self):
+        assert UnionType("A", "B").intersect(["B", "C"]) == BasicType("B")
+
+    def test_union_with(self):
+        assert BasicType("A").union_with(BasicType("B")) == UnionType("A", "B")
+
+    def test_union_with_all_is_all(self):
+        assert BasicType("A").union_with(AllType()).is_all
+
+    def test_resolve_all_uses_universe(self):
+        assert AllType().resolve(["A", "B"]) == frozenset({"A", "B"})
+
+    def test_resolve_explicit_ignores_universe(self):
+        assert UnionType("A", "B").resolve(["A", "B", "C"]) == frozenset({"A", "B"})
+
+    def test_cardinality(self):
+        assert UnionType("A", "B").cardinality() == 2
+        assert AllType().cardinality(universe_size=5) == 5
+        with pytest.raises(ValueError):
+            AllType().cardinality()
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert UnionType("A", "B") == UnionType("B", "A")
+        assert hash(UnionType("A", "B")) == hash(UnionType("B", "A"))
+        assert BasicType("A") != BasicType("B")
+        assert AllType() == AllType()
+
+    def test_iteration_sorted(self):
+        assert list(UnionType("B", "A")) == ["A", "B"]
+
+    def test_iterating_all_raises(self):
+        with pytest.raises(TypeError):
+            list(AllType())
+
+    def test_len(self):
+        assert len(UnionType("A", "B")) == 2
+        with pytest.raises(TypeError):
+            len(AllType())
+
+    def test_label(self):
+        assert AllType().label() == "*"
+        assert UnionType("Post", "Comment").label() == "Comment|Post"
+        assert BasicType("Person").label() == "Person"
+
+    def test_repr_forms(self):
+        assert "BasicType" in repr(BasicType("A"))
+        assert "UnionType" in repr(UnionType("A", "B"))
+        assert repr(AllType()) == "AllType()"
+
+
+class TestDirection:
+    def test_reverse(self):
+        assert Direction.OUT.reverse() is Direction.IN
+        assert Direction.IN.reverse() is Direction.OUT
+        assert Direction.BOTH.reverse() is Direction.BOTH

@@ -1,0 +1,169 @@
+"""Integration tests: plan equivalence, cross-language agreement, semantics."""
+
+import itertools
+
+import pytest
+
+from repro.backend import GraphScopeLikeBackend, Neo4jLikeBackend
+from repro.backend.base import ExecutionResult
+from repro.gir.operators import AggregateFunction
+from repro.gir.pattern import PatternGraph
+from repro.graph.types import BasicType
+from repro.lang.cypher import cypher_to_gir
+from repro.lang.gremlin import gremlin_to_gir
+from repro.optimizer.baselines import RandomPlanner, UserOrderPlanner, plan_from_vertex_order
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.physical_plan import PhysicalPlan
+from repro.optimizer.physical_spec import graphscope_profile, neo4j_profile
+from repro.optimizer.planner import GOptimizer, OptimizerConfig
+from repro.optimizer.search import PatternSearcher, build_pattern_physical
+
+
+def count_rows(backend, physical):
+    return backend.execute(PhysicalPlan(physical.root) if hasattr(physical, "root") else physical)
+
+
+def pattern_result_signature(backend, op, tags):
+    result = backend.execute(PhysicalPlan(op))
+    return sorted(tuple(row.get(tag) for tag in tags) for row in result.rows)
+
+
+class TestPlanEquivalence:
+    """Every planner must produce plans with identical results (PatternJoin rule)."""
+
+    @pytest.fixture()
+    def pattern(self):
+        pattern = PatternGraph()
+        pattern.add_vertex("p", BasicType("Person"))
+        pattern.add_vertex("f", BasicType("Person"))
+        pattern.add_vertex("c", BasicType("Place"))
+        pattern.add_vertex("t", BasicType("Tag"))
+        pattern.add_edge("k", "p", "f", BasicType("KNOWS"))
+        pattern.add_edge("loc", "f", "c", BasicType("IS_LOCATED_IN"))
+        pattern.add_edge("i", "f", "t", BasicType("HAS_INTEREST"))
+        return pattern
+
+    def test_all_planners_agree(self, ldbc_graph, ldbc_gq, pattern):
+        backend = GraphScopeLikeBackend(ldbc_graph, num_partitions=2)
+        profile = graphscope_profile()
+        tags = list(pattern.vertex_names)
+        searcher_plan = PatternSearcher(ldbc_gq, profile).optimize(pattern).plan
+        user_plan = UserOrderPlanner(ldbc_gq, profile).optimize(pattern).plan
+        random_plan = RandomPlanner(ldbc_gq, profile, seed=3).optimize(pattern).plan
+        signatures = []
+        for plan in (searcher_plan, user_plan, random_plan):
+            op = build_pattern_physical(plan, profile)
+            signatures.append(pattern_result_signature(backend, op, tags))
+        assert signatures[0] == signatures[1] == signatures[2]
+        assert signatures[0], "the pattern should have matches on the test graph"
+
+    def test_neo4j_and_graphscope_operators_agree(self, ldbc_graph, ldbc_gq, pattern):
+        backend = Neo4jLikeBackend(ldbc_graph)
+        tags = list(pattern.vertex_names)
+        neo_plan = PatternSearcher(ldbc_gq, neo4j_profile()).optimize(pattern).plan
+        gs_plan = PatternSearcher(ldbc_gq, graphscope_profile()).optimize(pattern).plan
+        neo_sig = pattern_result_signature(backend, build_pattern_physical(neo_plan, neo4j_profile()), tags)
+        gs_sig = pattern_result_signature(backend, build_pattern_physical(gs_plan, graphscope_profile()), tags)
+        assert neo_sig == gs_sig
+
+    def test_all_vertex_orders_agree_on_triangle(self, ldbc_graph, ldbc_gq):
+        pattern = PatternGraph()
+        pattern.add_vertex("a", BasicType("Person"))
+        pattern.add_vertex("b", BasicType("Person"))
+        pattern.add_vertex("c", BasicType("Person"))
+        pattern.add_edge("e1", "a", "b", BasicType("KNOWS"))
+        pattern.add_edge("e2", "b", "c", BasicType("KNOWS"))
+        pattern.add_edge("e3", "a", "c", BasicType("KNOWS"))
+        backend = GraphScopeLikeBackend(ldbc_graph, num_partitions=2)
+        profile = graphscope_profile()
+        cost_model = CostModel(ldbc_gq, profile)
+        signatures = set()
+        for order in itertools.permutations(["a", "b", "c"]):
+            plan = plan_from_vertex_order(pattern, list(order), cost_model)
+            op = build_pattern_physical(plan, profile)
+            signature = tuple(pattern_result_signature(backend, op, ["a", "b", "c"]))
+            signatures.add(signature)
+        assert len(signatures) == 1
+
+
+class TestCrossLanguage:
+    def test_cypher_and_gremlin_same_answer(self, ldbc_graph):
+        backend = GraphScopeLikeBackend(ldbc_graph, num_partitions=2)
+        optimizer = GOptimizer.for_graph(ldbc_graph, profile=backend.profile())
+        cypher_plan = cypher_to_gir(
+            "MATCH (f:Forum)-[:CONTAINER_OF]->(m:Post)-[:HAS_CREATOR]->(p:Person) "
+            "RETURN count(m) AS cnt")
+        gremlin_plan = gremlin_to_gir(
+            "g.V().hasLabel('Forum').as('f').out('CONTAINER_OF').hasLabel('Post').as('m')"
+            ".out('HAS_CREATOR').hasLabel('Person').as('p').count()")
+        cypher_count = backend.execute(optimizer.optimize(cypher_plan).physical_plan).rows[0]["cnt"]
+        gremlin_count = backend.execute(optimizer.optimize(gremlin_plan).physical_plan).rows[0]["count"]
+        assert cypher_count == gremlin_count > 0
+
+
+class TestOptimizationPreservesResults:
+    @pytest.mark.parametrize("query", [
+        "MATCH (p:Person)-[:KNOWS]->(f:Person)-[:IS_LOCATED_IN]->(c:Place) "
+        "WHERE c.name = 'China City 0' RETURN count(p) AS cnt",
+        "MATCH (p:Person)-[:LIKES]->(m:Post)-[:HAS_TAG]->(t:Tag) "
+        "RETURN t.name AS tag, count(p) AS cnt ORDER BY cnt DESC, tag ASC LIMIT 5",
+        "MATCH (m)-[:HAS_CREATOR]->(p:Person), (m)-[:HAS_TAG]->(t:Tag) RETURN count(m) AS cnt",
+    ])
+    def test_full_pipeline_vs_unoptimized(self, ldbc_graph, query):
+        backend = GraphScopeLikeBackend(ldbc_graph, num_partitions=2,
+                                        max_intermediate_results=2_000_000)
+        optimized = GOptimizer.for_graph(ldbc_graph, profile=backend.profile())
+        unoptimized = GOptimizer.for_graph(
+            ldbc_graph, profile=backend.profile(),
+            config=OptimizerConfig(enable_rbo=False, enable_cbo=False))
+        plan = cypher_to_gir(query)
+        fast = backend.execute(optimized.optimize(plan).physical_plan)
+        slow = backend.execute(unoptimized.optimize(plan).physical_plan)
+        assert not fast.timed_out and not slow.timed_out
+        columns = sorted(fast.rows[0].keys()) if fast.rows else []
+        assert sorted(map(tuple, (tuple(r.get(c) for c in columns) for r in fast.rows))) == \
+            sorted(map(tuple, (tuple(r.get(c) for c in columns) for r in slow.rows)))
+
+    def test_no_repeated_edge_semantics_filters_duplicates(self, ldbc_graph):
+        """Cypher counts must exclude matches reusing an edge; Gremlin keeps them."""
+        backend = GraphScopeLikeBackend(ldbc_graph, num_partitions=2)
+        optimizer = GOptimizer.for_graph(ldbc_graph, profile=backend.profile())
+        cypher_plan = cypher_to_gir(
+            "MATCH (a:Person)-[:KNOWS]->(b:Person)<-[:KNOWS]-(c:Person) RETURN count(a) AS cnt")
+        gremlin_plan = gremlin_to_gir(
+            "g.V().hasLabel('Person').as('a').out('KNOWS').hasLabel('Person').as('b')"
+            ".in('KNOWS').hasLabel('Person').as('c').count()")
+        cypher_count = backend.execute(optimizer.optimize(cypher_plan).physical_plan).rows[0]["cnt"]
+        gremlin_count = backend.execute(optimizer.optimize(gremlin_plan).physical_plan).rows[0]["count"]
+        # homomorphism semantics also counts the matches where both pattern
+        # edges bind the same data edge (a == c)
+        assert gremlin_count > cypher_count
+
+    def test_shared_union_matches_plain_union(self, ldbc_graph):
+        from repro.gir.builder import GraphIrBuilder
+        from repro.optimizer.rules import ComSubPatternRule
+
+        builder = GraphIrBuilder()
+        shared = PatternGraph()
+        shared.add_vertex("p", BasicType("Person"))
+        shared.add_vertex("f", BasicType("Person"))
+        shared.add_edge("k", "p", "f", BasicType("KNOWS"))
+        left = shared.copy()
+        left.add_vertex("c", BasicType("Place"))
+        left.add_edge("loc", "f", "c", BasicType("IS_LOCATED_IN"))
+        right = shared.copy()
+        right.add_vertex("t", BasicType("Tag"))
+        right.add_edge("i", "f", "t", BasicType("HAS_INTEREST"))
+        plan = (builder.match_pattern(left).union(builder.match_pattern(right))
+                .group(keys=["p"], agg_func=AggregateFunction.COUNT, alias="cnt")
+                .order(keys=["p"])
+                .build())
+        backend = GraphScopeLikeBackend(ldbc_graph, num_partitions=2)
+        with_rule = GOptimizer.for_graph(ldbc_graph, profile=backend.profile())
+        without_rule = GOptimizer.for_graph(
+            ldbc_graph, profile=backend.profile(),
+            config=OptimizerConfig(enable_rbo=False))
+        shared_result = backend.execute(with_rule.optimize(plan).physical_plan)
+        plain_result = backend.execute(without_rule.optimize(plan).physical_plan)
+        key = lambda rows: sorted((row["p"], row["cnt"]) for row in rows)
+        assert key(shared_result.rows) == key(plain_result.rows)

@@ -1,0 +1,193 @@
+"""Tests for the Cypher front-end: parser and GIR lowering."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.gir.expressions import BinaryOp, Literal, Property
+from repro.gir.operators import (
+    AggregateFunction,
+    DedupOp,
+    GroupOp,
+    JoinOp,
+    JoinType,
+    LimitOp,
+    MatchPatternOp,
+    OrderOp,
+    ProjectOp,
+    SelectOp,
+    UnionOp,
+)
+from repro.lang.cypher import cypher_to_gir, parse_cypher
+from repro.lang.cypher.ast import MatchClause, ReturnClause, WithClause
+
+
+class TestParser:
+    def test_single_match_return(self):
+        ast = parse_cypher("MATCH (a:Person)-[e:KNOWS]->(b:Person) RETURN a, b")
+        assert len(ast.parts) == 1
+        clauses = ast.parts[0].clauses
+        assert isinstance(clauses[0], MatchClause)
+        assert isinstance(clauses[-1], ReturnClause)
+        path = clauses[0].patterns[0]
+        assert [n.alias for n in path.nodes] == ["a", "b"]
+        assert path.relationships[0].types == ("KNOWS",)
+        assert path.relationships[0].direction == "out"
+
+    def test_incoming_relationship(self):
+        ast = parse_cypher("MATCH (a)<-[:LIKES]-(b) RETURN a")
+        rel = ast.parts[0].clauses[0].patterns[0].relationships[0]
+        assert rel.direction == "in"
+
+    def test_union_type_labels(self):
+        ast = parse_cypher("MATCH (m:Post|Comment) RETURN m")
+        node = ast.parts[0].clauses[0].patterns[0].nodes[0]
+        assert node.labels == ("Post", "Comment")
+
+    def test_property_map(self):
+        ast = parse_cypher("MATCH (a:Person {id: 3, name: 'x'}) RETURN a")
+        node = ast.parts[0].clauses[0].patterns[0].nodes[0]
+        assert dict(node.properties) == {"id": 3, "name": "x"}
+
+    def test_variable_length_relationship(self):
+        ast = parse_cypher("MATCH (a)-[p:KNOWS*2..3]->(b) RETURN a")
+        rel = ast.parts[0].clauses[0].patterns[0].relationships[0]
+        assert rel.is_path and rel.min_hops == 2 and rel.max_hops == 3
+
+    def test_fixed_length_star(self):
+        ast = parse_cypher("MATCH (a)-[p:KNOWS*2]->(b) RETURN a")
+        rel = ast.parts[0].clauses[0].patterns[0].relationships[0]
+        assert rel.min_hops == rel.max_hops == 2
+
+    def test_where_clause(self):
+        ast = parse_cypher("MATCH (a:Person) WHERE a.age > 30 AND a.name = 'x' RETURN a")
+        where = ast.parts[0].clauses[0].where
+        assert where.referenced_properties() == {("a", "age"), ("a", "name")}
+
+    def test_with_aggregation(self):
+        ast = parse_cypher("MATCH (a)-[]->(b) WITH a, count(b) AS cnt RETURN a, cnt")
+        with_clause = ast.parts[0].clauses[1]
+        assert isinstance(with_clause, WithClause)
+        aggregates = [i for i in with_clause.items if i.aggregate]
+        assert len(aggregates) == 1 and aggregates[0].alias == "cnt"
+
+    def test_count_star_and_distinct(self):
+        ast = parse_cypher("MATCH (a) RETURN count(*) AS all, count(DISTINCT a) AS uniq")
+        items = ast.parts[0].clauses[-1].items
+        assert items[0].aggregate == "count"
+        assert items[1].aggregate == "count" and items[1].distinct
+
+    def test_order_by_and_limit(self):
+        ast = parse_cypher("MATCH (a) RETURN a.name AS n ORDER BY n DESC, a.age LIMIT 7")
+        ret = ast.parts[0].clauses[-1]
+        assert len(ret.order_by) == 2
+        assert ret.order_by[0].ascending is False
+        assert ret.order_by[1].ascending is True
+        assert ret.limit == 7
+
+    def test_union(self):
+        ast = parse_cypher("MATCH (a:Person) RETURN a UNION ALL MATCH (a:Product) RETURN a")
+        assert len(ast.parts) == 2
+        assert ast.union_all
+
+    def test_parameters_substitution(self):
+        ast = parse_cypher("MATCH (a) WHERE a.id IN $ids AND a.name = $name RETURN a",
+                           parameters={"ids": [1, 2], "name": "x"})
+        where = ast.parts[0].clauses[0].where
+        assert ("a", "id") in where.referenced_properties()
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(ParseError):
+            parse_cypher("MATCH (a) WHERE a.id = $missing RETURN a")
+
+    def test_multiple_patterns_in_one_match(self):
+        ast = parse_cypher("MATCH (a)-[]->(b), (b)-[]->(c) RETURN a")
+        assert len(ast.parts[0].clauses[0].patterns) == 2
+
+    def test_syntax_error_reports(self):
+        with pytest.raises(ParseError):
+            parse_cypher("MATCH (a:Person RETURN a")
+        with pytest.raises(ParseError):
+            parse_cypher("MATCH (a) RETURN a extra tokens )(")
+
+
+class TestLowering:
+    def test_basic_plan_shape(self):
+        plan = cypher_to_gir(
+            "MATCH (a:Person)-[e:KNOWS]->(b:Person) WHERE b.name = 'x' "
+            "RETURN a.name AS name LIMIT 5")
+        ops = [type(node) for node in plan.nodes()]
+        assert MatchPatternOp in ops
+        assert SelectOp in ops
+        assert ProjectOp in ops
+        assert LimitOp in ops
+
+    def test_pattern_constraints_and_semantics(self):
+        plan = cypher_to_gir("MATCH (a:Person)-[e:KNOWS|LIKES]->(b) RETURN a")
+        match = plan.patterns()[0]
+        assert match.semantics == "no_repeated_edge"
+        pattern = match.pattern
+        assert pattern.vertex("a").constraint.label() == "Person"
+        assert pattern.edge("e").constraint.label() == "KNOWS|LIKES"
+        assert pattern.vertex("b").constraint.is_all
+
+    def test_inline_properties_become_predicates(self):
+        plan = cypher_to_gir("MATCH (a:Person {id: 3})-[]->(b) RETURN a")
+        vertex = plan.patterns()[0].pattern.vertex("a")
+        assert vertex.predicates == (BinaryOp("=", Property("a", "id"), Literal(3)),)
+
+    def test_multiple_match_clauses_joined(self):
+        plan = cypher_to_gir("MATCH (a)-[]->(b) MATCH (b)-[]->(c) RETURN a")
+        joins = [n for n in plan.nodes() if isinstance(n, JoinOp)]
+        assert len(joins) == 1
+        assert joins[0].keys == ("b",)
+        assert joins[0].join_type is JoinType.INNER
+
+    def test_optional_match_becomes_left_outer(self):
+        plan = cypher_to_gir("MATCH (a:Person)-[]->(b) OPTIONAL MATCH (b)-[]->(c) RETURN a")
+        joins = [n for n in plan.nodes() if isinstance(n, JoinOp)]
+        assert joins and joins[0].join_type is JoinType.LEFT_OUTER
+
+    def test_disjoint_match_clauses_rejected(self):
+        with pytest.raises(ParseError):
+            cypher_to_gir("MATCH (a)-[]->(b) MATCH (x)-[]->(y) RETURN a")
+
+    def test_aggregation_lowered_to_group(self):
+        plan = cypher_to_gir("MATCH (a)-[]->(b) RETURN a, count(b) AS cnt")
+        groups = [n for n in plan.nodes() if isinstance(n, GroupOp)]
+        assert len(groups) == 1
+        group = groups[0]
+        assert [k.alias for k in group.keys] == ["a"]
+        assert group.aggregations[0].function is AggregateFunction.COUNT
+        assert group.aggregations[0].alias == "cnt"
+
+    def test_count_distinct(self):
+        plan = cypher_to_gir("MATCH (a)-[]->(b) RETURN count(DISTINCT b) AS cnt")
+        group = [n for n in plan.nodes() if isinstance(n, GroupOp)][0]
+        assert group.aggregations[0].function is AggregateFunction.COUNT_DISTINCT
+
+    def test_return_distinct_dedups(self):
+        plan = cypher_to_gir("MATCH (a)-[]->(b) RETURN DISTINCT b")
+        assert any(isinstance(n, DedupOp) for n in plan.nodes())
+
+    def test_order_by_lowered(self):
+        plan = cypher_to_gir("MATCH (a)-[]->(b) RETURN b.name AS n ORDER BY n DESC LIMIT 3")
+        orders = [n for n in plan.nodes() if isinstance(n, OrderOp)]
+        assert orders and orders[0].limit == 3
+        assert orders[0].keys[0].ascending is False
+
+    def test_union_lowered(self):
+        plan = cypher_to_gir(
+            "MATCH (a:Person) RETURN a.id AS id UNION ALL MATCH (a:Product) RETURN a.id AS id")
+        assert isinstance(plan.root, UnionOp)
+
+    def test_variable_length_lowered_to_path_edge(self):
+        plan = cypher_to_gir("MATCH (a:Person)-[p:KNOWS*1..2]->(b:Person) RETURN count(a) AS c")
+        pattern = plan.patterns()[0].pattern
+        assert pattern.edge("p").is_path
+        assert pattern.edge("p").max_hops == 2
+
+    def test_where_on_with_clause(self):
+        plan = cypher_to_gir(
+            "MATCH (a)-[]->(b) WITH a, count(b) AS cnt WHERE cnt > 2 RETURN a, cnt")
+        selects = [n for n in plan.nodes() if isinstance(n, SelectOp)]
+        assert any("cnt" in s.predicate.referenced_tags() for s in selects)

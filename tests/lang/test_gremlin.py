@@ -1,0 +1,121 @@
+"""Tests for the Gremlin front-end: parser and GIR lowering."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.gir.operators import GroupOp, LimitOp, MatchPatternOp, OrderOp, ProjectOp
+from repro.lang.gremlin import gremlin_to_gir, parse_gremlin
+from repro.lang.gremlin.ast import Step, Symbol, Traversal
+
+
+class TestParser:
+    def test_simple_chain(self):
+        traversal = parse_gremlin("g.V().hasLabel('Person').out('KNOWS').count()")
+        names = [step.name for step in traversal.steps]
+        assert names == ["V", "hasLabel", "out", "count"]
+        assert traversal.steps[1].args == ("Person",)
+
+    def test_numeric_argument(self):
+        traversal = parse_gremlin("g.V().limit(10)")
+        assert traversal.steps[1].args == (10,)
+
+    def test_nested_anonymous_traversal(self):
+        traversal = parse_gremlin("g.V().match(__.as('a').out('X').as('b'))")
+        match_step = traversal.steps[1]
+        assert isinstance(match_step.args[0], Traversal)
+        assert match_step.args[0].anonymous
+        assert [s.name for s in match_step.args[0].steps] == ["as", "out", "as"]
+
+    def test_symbol_arguments(self):
+        traversal = parse_gremlin("g.V().order().by(values, desc)")
+        by_step = traversal.steps[2]
+        assert by_step.args == (Symbol("values"), Symbol("desc"))
+
+    def test_qualified_enum(self):
+        traversal = parse_gremlin("g.V().order().by('x', Order.desc)")
+        assert traversal.steps[2].args[1] == Symbol("desc")
+
+    def test_must_start_with_g(self):
+        with pytest.raises(ParseError):
+            parse_gremlin("V().count()")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            parse_gremlin("g.V().has('name)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_gremlin("g.V().count() extra")
+
+
+class TestLowering:
+    def test_linear_traversal_builds_pattern(self):
+        plan = gremlin_to_gir(
+            "g.V().hasLabel('Person').as('a').out('KNOWS').hasLabel('Person').as('b').count()")
+        match = plan.patterns()[0]
+        pattern = match.pattern
+        assert set(pattern.vertex_names) == {"a", "b"}
+        assert pattern.vertex("a").constraint.label() == "Person"
+        assert [e.constraint.label() for e in pattern.edges] == ["KNOWS"]
+
+    def test_in_step_reverses_direction(self):
+        plan = gremlin_to_gir("g.V().hasLabel('Place').as('c').in('IS_LOCATED_IN').as('p').count()")
+        pattern = plan.patterns()[0].pattern
+        edge = pattern.edges[0]
+        assert edge.src == "p" and edge.dst == "c"
+
+    def test_has_becomes_predicate(self):
+        plan = gremlin_to_gir("g.V().hasLabel('Person').as('a').has('name', 'x').count()")
+        vertex = plan.patterns()[0].pattern.vertex("a")
+        assert len(vertex.predicates) == 1
+
+    def test_match_step_merges_tags(self):
+        plan = gremlin_to_gir(
+            "g.V().match(__.as('v1').out().as('v2'), __.as('v2').out().as('v3'))"
+            ".match(__.as('v1').out().as('v3')).select('v1').count()")
+        pattern = plan.patterns()[0].pattern
+        assert set(pattern.vertex_names) == {"v1", "v2", "v3"}
+        assert pattern.num_edges == 3
+
+    def test_group_count_by(self):
+        plan = gremlin_to_gir("g.V().hasLabel('Person').as('a').out('KNOWS').as('b')"
+                              ".groupCount().by('a')")
+        groups = [n for n in plan.nodes() if isinstance(n, GroupOp)]
+        assert groups and [k.alias for k in groups[0].keys] == ["a"]
+
+    def test_order_and_limit(self):
+        plan = gremlin_to_gir("g.V().as('a').out().as('b').groupCount().by('a')"
+                              ".order().by(values, desc).limit(5)")
+        assert any(isinstance(n, OrderOp) for n in plan.nodes())
+        assert isinstance(plan.root, LimitOp)
+
+    def test_values_projection(self):
+        plan = gremlin_to_gir("g.V().hasLabel('Person').as('a').values('name')")
+        projects = [n for n in plan.nodes() if isinstance(n, ProjectOp)]
+        assert projects and projects[0].items[0].alias == "name"
+
+    def test_multi_select_projection(self):
+        plan = gremlin_to_gir("g.V().as('a').out().as('b').select('a', 'b')")
+        projects = [n for n in plan.nodes() if isinstance(n, ProjectOp)]
+        assert {i.alias for i in projects[0].items} == {"a", "b"}
+
+    def test_select_unknown_tag_rejected(self):
+        with pytest.raises(ParseError):
+            gremlin_to_gir("g.V().as('a').select('zzz').count()")
+
+    def test_gremlin_and_cypher_agree(self, social_graph):
+        """The same CGP in both languages optimizes to the same pattern shape."""
+        from repro.lang.cypher import cypher_to_gir
+
+        cypher_plan = cypher_to_gir(
+            "MATCH (a:Person)-[:Knows]->(b:Person)-[:LocatedIn]->(c:Place) RETURN count(a) AS cnt")
+        gremlin_plan = gremlin_to_gir(
+            "g.V().hasLabel('Person').as('a').out('Knows').hasLabel('Person').as('b')"
+            ".out('LocatedIn').hasLabel('Place').as('c').count()")
+        cy_pattern = cypher_plan.patterns()[0].pattern
+        gr_pattern = gremlin_plan.patterns()[0].pattern
+        assert cy_pattern.num_vertices == gr_pattern.num_vertices == 3
+        assert cy_pattern.num_edges == gr_pattern.num_edges == 2
+        cy_labels = sorted(v.constraint.label() for v in cy_pattern.vertices)
+        gr_labels = sorted(v.constraint.label() for v in gr_pattern.vertices)
+        assert cy_labels == gr_labels

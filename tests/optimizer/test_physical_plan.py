@@ -1,0 +1,119 @@
+"""Tests for the physical operator dataclasses and PhysicalPlan helpers."""
+
+import pytest
+
+from repro.gir.expressions import parse_expression
+from repro.gir.operators import AggregateCall, AggregateFunction, ProjectItem, SortKey
+from repro.graph.types import AllType, BasicType, Direction, UnionType
+from repro.optimizer.physical_plan import (
+    Aggregate,
+    AllDifferent,
+    Dedup,
+    ExpandEdge,
+    ExpandInto,
+    ExpandIntersect,
+    Filter,
+    HashJoin,
+    IntersectBranch,
+    Limit,
+    PathExpand,
+    PhysicalPlan,
+    Project,
+    ScanVertex,
+    Sort,
+    Union,
+)
+
+
+@pytest.fixture()
+def small_plan():
+    scan = ScanVertex(tag="a", constraint=BasicType("Person"),
+                      predicates=(parse_expression("a.name = 'x'"),), columns=("name",))
+    expand = ExpandEdge(anchor_tag="a", edge_tag="e", target_tag="b",
+                        direction=Direction.OUT, edge_constraint=UnionType("Knows", "Likes"),
+                        target_constraint=AllType(), inputs=(scan,))
+    aggregate = Aggregate(keys=(ProjectItem(parse_expression("b"), "b"),),
+                          aggregations=(AggregateCall(AggregateFunction.COUNT, None, "cnt"),),
+                          mode="local_global", inputs=(expand,))
+    sort = Sort(keys=(SortKey(parse_expression("cnt"), ascending=False),), limit=5,
+                inputs=(aggregate,))
+    return PhysicalPlan(sort)
+
+
+class TestPhysicalPlan:
+    def test_operator_traversal_order(self, small_plan):
+        names = [op.name for op in small_plan.operators()]
+        assert names == ["ScanVertex", "ExpandEdge", "Aggregate", "Sort"]
+
+    def test_size(self, small_plan):
+        assert small_plan.size() == 4
+
+    def test_operators_of_type(self, small_plan):
+        assert len(small_plan.operators_of_type(ScanVertex)) == 1
+        assert len(small_plan.operators_of_type((ScanVertex, ExpandEdge))) == 2
+
+    def test_explain_indents_children(self, small_plan):
+        lines = small_plan.explain().splitlines()
+        assert lines[0].startswith("Sort")
+        assert lines[-1].lstrip().startswith("Scan")
+        assert lines[-1].startswith(" " * 6)
+
+    def test_to_dict_serialises_constraints(self, small_plan):
+        payload = small_plan.to_dict()
+        scan_payload = payload
+        while scan_payload["inputs"]:
+            scan_payload = scan_payload["inputs"][0]
+        assert scan_payload["op"] == "ScanVertex"
+        assert scan_payload["constraint"] == "Person"
+        assert scan_payload["columns"] == ["name"]
+
+    def test_with_inputs_creates_new_operator(self, small_plan):
+        scan = list(small_plan.operators())[0]
+        other = ScanVertex(tag="z", constraint=AllType())
+        rewired = small_plan.root.with_inputs((other,))
+        assert rewired.inputs == (other,)
+        assert small_plan.root.inputs[0] is not other
+
+
+class TestDescribeStrings:
+    def test_graph_operator_descriptions(self):
+        scan = ScanVertex(tag="a", constraint=BasicType("Person"))
+        assert "Scan a:Person" in scan.describe()
+        expand = ExpandEdge(anchor_tag="a", edge_tag="e", target_tag="b",
+                            direction=Direction.IN, edge_constraint=BasicType("KNOWS"),
+                            target_constraint=BasicType("Person"))
+        assert "<-" in expand.describe()
+        into = ExpandInto(anchor_tag="a", edge_tag="e", target_tag="b",
+                          direction=Direction.OUT, edge_constraint=AllType())
+        assert "ExpandInto" in into.describe()
+        intersect = ExpandIntersect(
+            target_tag="c", target_constraint=AllType(),
+            branches=(IntersectBranch("a", "e1", Direction.OUT, AllType()),
+                      IntersectBranch("b", "e2", Direction.OUT, AllType())))
+        assert "ExpandIntersect" in intersect.describe()
+        assert "a, b" in intersect.describe()
+        path = PathExpand(anchor_tag="a", path_tag="p", target_tag="b",
+                          direction=Direction.OUT, edge_constraint=BasicType("TRANSFERS"),
+                          min_hops=2, max_hops=4)
+        assert "*2..4" in path.describe()
+
+    def test_relational_operator_descriptions(self):
+        assert "HashJoin" in HashJoin(keys=("a",)).describe()
+        assert "Filter" in Filter(predicate=parse_expression("a.x = 1")).describe()
+        assert "Project" in Project(items=(ProjectItem(parse_expression("a"), "a"),)).describe()
+        assert "Limit 3" in Limit(count=3).describe()
+        assert "Dedup" in Dedup(tags=("a",)).describe()
+        assert "Union" in Union().describe()
+        assert "distinct" in Union(distinct=True).describe()
+        assert "AllDifferent" in AllDifferent(tags=("e1", "e2")).describe()
+
+    def test_aggregate_description_includes_mode(self):
+        aggregate = Aggregate(keys=(), aggregations=(AggregateCall(AggregateFunction.COUNT, None, "c"),),
+                              mode="local_global")
+        assert "local_global" in aggregate.describe()
+
+    def test_path_expand_close_mode(self):
+        path = PathExpand(anchor_tag="a", path_tag="p", target_tag="b",
+                          direction=Direction.OUT, edge_constraint=AllType(),
+                          min_hops=1, max_hops=2, closes=True)
+        assert "into bound" in path.describe()

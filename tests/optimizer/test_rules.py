@@ -1,0 +1,254 @@
+"""Tests for the RBO heuristic rules and the HepPlanner."""
+
+import pytest
+
+from repro.gir import GraphIrBuilder
+from repro.gir.operators import (
+    AggregateFunction,
+    JoinOp,
+    LimitOp,
+    MatchPatternOp,
+    OrderOp,
+    ProjectOp,
+    SelectOp,
+    UnionOp,
+)
+from repro.gir.pattern import PatternGraph
+from repro.graph.types import AllType, BasicType, Direction
+from repro.optimizer.rules import (
+    ComSubPatternRule,
+    FieldTrimRule,
+    FilterIntoPatternRule,
+    FilterPushDownRule,
+    JoinToPatternRule,
+    LimitPushThroughProjectRule,
+    OrderLimitFusionRule,
+    SelectMergeRule,
+    default_hep_planner,
+)
+
+
+def two_hop_handle(builder=None, v3_type=None):
+    builder = builder or GraphIrBuilder()
+    return (builder.pattern_start()
+            .get_v(alias="v1", vtype=BasicType("Person"))
+            .expand_e(tag="v1", alias="e1", direction=Direction.OUT)
+            .get_v(tag="e1", alias="v2", vtype=AllType())
+            .expand_e(tag="v2", alias="e2", direction=Direction.OUT)
+            .get_v(tag="e2", alias="v3", vtype=v3_type or BasicType("Place"))
+            .pattern_end())
+
+
+class TestFilterIntoPattern:
+    def test_single_tag_filter_is_pushed(self):
+        plan = two_hop_handle().select("v3.name = 'China'").build()
+        rewritten = FilterIntoPatternRule().apply(plan)
+        assert rewritten is not None
+        assert isinstance(rewritten.root, MatchPatternOp)
+        assert len(rewritten.root.pattern.vertex("v3").predicates) == 1
+
+    def test_multi_tag_filter_stays(self):
+        plan = two_hop_handle().select("v1.name = v3.name").build()
+        assert FilterIntoPatternRule().apply(plan) is None
+
+    def test_mixed_conjunction_splits(self):
+        plan = two_hop_handle().select("v3.name = 'x' AND v1.name = v2.name").build()
+        rewritten = FilterIntoPatternRule().apply(plan)
+        assert isinstance(rewritten.root, SelectOp)
+        match = rewritten.root.inputs[0]
+        assert len(match.pattern.vertex("v3").predicates) == 1
+
+    def test_edge_filter_is_pushed(self):
+        plan = two_hop_handle().select("e1.since > 2020").build()
+        rewritten = FilterIntoPatternRule().apply(plan)
+        assert len(rewritten.root.pattern.edge("e1").predicates) == 1
+
+    def test_no_match_below_select_no_change(self):
+        plan = two_hop_handle().limit(3).select("v3.name = 'x'").build()
+        assert FilterIntoPatternRule().apply(plan) is None
+
+
+class TestJoinToPattern:
+    def build_join(self, keys=("v2",)):
+        builder = GraphIrBuilder()
+        left = (builder.pattern_start()
+                .get_v(alias="v1", vtype=BasicType("Person"))
+                .expand_e(tag="v1", alias="e1", direction=Direction.OUT)
+                .get_v(tag="e1", alias="v2")
+                .pattern_end())
+        right = (builder.pattern_start()
+                 .get_v(alias="v2")
+                 .expand_e(tag="v2", alias="e2", direction=Direction.OUT)
+                 .get_v(tag="e2", alias="v3", vtype=BasicType("Place"))
+                 .pattern_end())
+        return builder.join(left, right, keys=list(keys)).build()
+
+    def test_join_on_common_vertex_is_merged(self):
+        rewritten = JoinToPatternRule().apply(self.build_join())
+        assert rewritten is not None
+        assert isinstance(rewritten.root, MatchPatternOp)
+        merged = rewritten.root.pattern
+        assert set(merged.vertex_names) == {"v1", "v2", "v3"}
+        assert set(merged.edge_names) == {"e1", "e2"}
+
+    def test_join_with_unrelated_key_not_merged(self):
+        plan = self.build_join(keys=("v1",))  # v1 is not shared by the right side
+        assert JoinToPatternRule().apply(plan) is None
+
+    def test_join_above_group_not_merged(self):
+        builder = GraphIrBuilder()
+        left = (builder.pattern_start()
+                .get_v(alias="v1").expand_e(tag="v1", alias="e1").get_v(tag="e1", alias="v2")
+                .pattern_end()
+                .group(keys=["v2"], agg_func=AggregateFunction.COUNT, alias="cnt"))
+        right = (builder.pattern_start()
+                 .get_v(alias="v2").expand_e(tag="v2", alias="e2").get_v(tag="e2", alias="v3")
+                 .pattern_end())
+        plan = left.join(right, keys=["v2"]).build()
+        assert JoinToPatternRule().apply(plan) is None
+
+
+class TestComSubPattern:
+    def build_union(self):
+        builder = GraphIrBuilder()
+        shared = PatternGraph()
+        shared.add_vertex("p", BasicType("Person"))
+        shared.add_vertex("f", BasicType("Person"))
+        shared.add_edge("k", "p", "f", BasicType("Knows"))
+        left_pattern = shared.copy()
+        left_pattern.add_vertex("m", BasicType("Product"))
+        left_pattern.add_edge("b", "f", "m", BasicType("Purchases"))
+        right_pattern = shared.copy()
+        right_pattern.add_vertex("c", BasicType("Place"))
+        right_pattern.add_edge("l", "f", "c", BasicType("LocatedIn"))
+        left = builder.match_pattern(left_pattern)
+        right = builder.match_pattern(right_pattern)
+        return builder.union(left, right).build()
+
+    def test_shared_subpattern_annotated(self):
+        rewritten = ComSubPatternRule().apply(self.build_union())
+        assert rewritten is not None
+        union = rewritten.root
+        assert isinstance(union, UnionOp)
+        assert union.common_subpattern is not None
+        assert set(union.common_subpattern.edge_names) == {"k"}
+
+    def test_no_shared_edges_no_annotation(self):
+        builder = GraphIrBuilder()
+        a = PatternGraph()
+        a.add_vertex("x", BasicType("Person"))
+        a.add_vertex("y", BasicType("Place"))
+        a.add_edge("e1", "x", "y", BasicType("LocatedIn"))
+        b = PatternGraph()
+        b.add_vertex("u", BasicType("Person"))
+        b.add_vertex("w", BasicType("Product"))
+        b.add_edge("e2", "u", "w", BasicType("Purchases"))
+        plan = builder.union(builder.match_pattern(a), builder.match_pattern(b)).build()
+        assert ComSubPatternRule().apply(plan) is None
+
+    def test_rule_idempotent(self):
+        rewritten = ComSubPatternRule().apply(self.build_union())
+        assert ComSubPatternRule().apply(rewritten) is None
+
+
+class TestFieldTrim:
+    def test_columns_annotated_and_project_inserted(self):
+        plan = (two_hop_handle()
+                .group(keys=["v3.name"], agg_func=AggregateFunction.COUNT, alias="cnt")
+                .build())
+        rewritten = FieldTrimRule().apply(plan)
+        assert rewritten is not None
+        match = rewritten.patterns()[0]
+        assert match.pattern.vertex("v3").columns == frozenset({"name"})
+        assert match.pattern.vertex("v1").columns == frozenset()
+        projects = [n for n in rewritten.nodes() if isinstance(n, ProjectOp)]
+        assert projects, "a trimming PROJECT should have been inserted"
+
+    def test_fixpoint_terminates(self):
+        plan = (two_hop_handle()
+                .group(keys=["v3.name"], agg_func=AggregateFunction.COUNT, alias="cnt")
+                .build())
+        planner = default_hep_planner()
+        optimized = planner.optimize(plan)
+        # running the planner again must not change anything further
+        assert planner.optimize(optimized).explain() == optimized.explain()
+
+
+class TestRelationalRules:
+    def test_select_merge(self):
+        plan = two_hop_handle().select("v1.age > 3").select("v3.name = 'x'").build()
+        rewritten = SelectMergeRule().apply(plan)
+        assert rewritten is not None
+        selects = [n for n in rewritten.nodes() if isinstance(n, SelectOp)]
+        assert len(selects) == 1
+
+    def test_filter_push_down_through_join(self):
+        builder = GraphIrBuilder()
+        left = (builder.pattern_start()
+                .get_v(alias="a").expand_e(tag="a", alias="e1").get_v(tag="e1", alias="b")
+                .pattern_end())
+        right = (builder.pattern_start()
+                 .get_v(alias="b").expand_e(tag="b", alias="e2").get_v(tag="e2", alias="c")
+                 .pattern_end())
+        plan = builder.join(left, right, keys=["b"]).select("a.x = 1 AND c.y = 2").build()
+        rewritten = FilterPushDownRule().apply(plan)
+        assert rewritten is not None
+        assert isinstance(rewritten.root, JoinOp)
+        assert all(isinstance(child, SelectOp) for child in rewritten.root.inputs)
+
+    def test_filter_push_down_through_union(self):
+        builder = GraphIrBuilder()
+        left = two_hop_handle(builder)
+        right = two_hop_handle(builder)
+        plan = builder.union(left, right).select("v3.name = 'x'").build()
+        rewritten = FilterPushDownRule().apply(plan)
+        assert rewritten is not None
+        assert isinstance(rewritten.root, UnionOp)
+
+    def test_order_limit_fusion(self):
+        plan = two_hop_handle().order(keys=["v3.name"]).limit(4).build()
+        rewritten = OrderLimitFusionRule().apply(plan)
+        assert rewritten is not None
+        assert isinstance(rewritten.root, OrderOp)
+        assert rewritten.root.limit == 4
+
+    def test_limit_push_through_project(self):
+        plan = two_hop_handle().project(["v3"]).limit(2).build()
+        rewritten = LimitPushThroughProjectRule().apply(plan)
+        assert rewritten is not None
+        assert isinstance(rewritten.root, ProjectOp)
+        assert isinstance(rewritten.root.inputs[0], LimitOp)
+
+
+class TestHepPlanner:
+    def test_default_planner_applies_multiple_rules(self):
+        builder = GraphIrBuilder()
+        left = (builder.pattern_start()
+                .get_v(alias="v1", vtype=BasicType("Person"))
+                .expand_e(tag="v1", alias="e1", direction=Direction.OUT)
+                .get_v(tag="e1", alias="v2")
+                .pattern_end())
+        right = (builder.pattern_start()
+                 .get_v(alias="v2")
+                 .expand_e(tag="v2", alias="e2", direction=Direction.OUT)
+                 .get_v(tag="e2", alias="v3", vtype=BasicType("Place"))
+                 .pattern_end())
+        plan = (builder.join(left, right, keys=["v2"])
+                .select("v3.name = 'China'")
+                .group(keys=["v2"], agg_func=AggregateFunction.COUNT, alias="cnt")
+                .order(keys=["cnt"], limit=10)
+                .build())
+        planner = default_hep_planner()
+        optimized = planner.optimize(plan)
+        applied = planner.applied_rule_names()
+        assert "FilterIntoPattern" in applied
+        assert "JoinToPattern" in applied
+        # the join was eliminated and the filter sits inside the single pattern
+        assert len(optimized.patterns()) == 1
+        assert not any(isinstance(n, JoinOp) for n in optimized.nodes())
+
+    def test_planner_is_noop_on_already_optimal_plan(self):
+        plan = two_hop_handle().build()
+        planner = default_hep_planner()
+        optimized = planner.optimize(plan)
+        assert optimized.size() == plan.size()

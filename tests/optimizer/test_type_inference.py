@@ -1,0 +1,154 @@
+"""Tests for Algorithm 1: type inference and validation."""
+
+import pytest
+
+from repro.errors import TypeInferenceError
+from repro.gir.pattern import PatternGraph
+from repro.graph.types import AllType, BasicType, UnionType
+from repro.optimizer.type_inference import infer_types
+
+
+class TestPaperExample:
+    """The running example of the paper's Fig. 5/6 on the social-commerce schema."""
+
+    @pytest.fixture()
+    def pattern(self):
+        pattern = PatternGraph()
+        pattern.add_vertex("v1", AllType())
+        pattern.add_vertex("v2", AllType())
+        pattern.add_vertex("v3", BasicType("Place"))
+        pattern.add_edge("e1", "v1", "v2", AllType())
+        pattern.add_edge("e2", "v2", "v3", AllType())
+        pattern.add_edge("e3", "v1", "v3", AllType())
+        return pattern
+
+    def test_inferred_constraints_match_figure(self, pattern, tiny_schema):
+        result = infer_types(pattern, tiny_schema)
+        assert result.valid
+        inferred = result.pattern
+        assert inferred.vertex("v1").constraint == BasicType("Person")
+        assert inferred.vertex("v2").constraint == UnionType("Person", "Product")
+        assert inferred.vertex("v3").constraint == BasicType("Place")
+        assert inferred.edge("e1").constraint == UnionType("Knows", "Purchases")
+        assert inferred.edge("e2").constraint == UnionType("LocatedIn", "ProducedIn")
+        assert inferred.edge("e3").constraint == BasicType("LocatedIn")
+
+    def test_counts_narrowed_elements(self, pattern, tiny_schema):
+        result = infer_types(pattern, tiny_schema)
+        assert result.narrowed_vertices >= 2
+        assert result.narrowed_edges >= 3
+        assert result.iterations >= pattern.num_vertices
+
+
+class TestValidation:
+    def test_invalid_combination_detected(self, tiny_schema):
+        # a Place has no outgoing edges, so Place -> Person cannot be satisfied
+        pattern = PatternGraph()
+        pattern.add_vertex("a", BasicType("Place"))
+        pattern.add_vertex("b", BasicType("Person"))
+        pattern.add_edge("e", "a", "b", AllType())
+        result = infer_types(pattern, tiny_schema)
+        assert not result.valid
+        assert result.pattern is None
+        with pytest.raises(TypeInferenceError):
+            result.require_valid()
+
+    def test_unknown_type_is_invalid(self, tiny_schema):
+        pattern = PatternGraph()
+        pattern.add_vertex("a", BasicType("Dragon"))
+        result = infer_types(pattern, tiny_schema)
+        assert not result.valid
+
+    def test_incompatible_edge_label_is_invalid(self, tiny_schema):
+        pattern = PatternGraph()
+        pattern.add_vertex("a", BasicType("Person"))
+        pattern.add_vertex("b", BasicType("Person"))
+        pattern.add_edge("e", "a", "b", BasicType("LocatedIn"))
+        result = infer_types(pattern, tiny_schema)
+        assert not result.valid
+
+    def test_explicit_valid_pattern_unchanged(self, tiny_schema):
+        pattern = PatternGraph()
+        pattern.add_vertex("a", BasicType("Person"))
+        pattern.add_vertex("b", BasicType("Place"))
+        pattern.add_edge("e", "a", "b", BasicType("LocatedIn"))
+        result = infer_types(pattern, tiny_schema)
+        assert result.valid
+        assert result.pattern.vertex("a").constraint == BasicType("Person")
+        assert result.pattern.edge("e").constraint == BasicType("LocatedIn")
+
+
+class TestPropagation:
+    def test_incoming_adjacency_used(self, tiny_schema):
+        # (x) -> (p:Product): x must be a Person via Purchases
+        pattern = PatternGraph()
+        pattern.add_vertex("x", AllType())
+        pattern.add_vertex("p", BasicType("Product"))
+        pattern.add_edge("e", "x", "p", AllType())
+        result = infer_types(pattern, tiny_schema)
+        assert result.pattern.vertex("x").constraint == BasicType("Person")
+        assert result.pattern.edge("e").constraint == BasicType("Purchases")
+
+    def test_union_types_preserved_when_multiple_possibilities(self, tiny_schema):
+        # (x) -> (p:Place): x can be a Person or a Product
+        pattern = PatternGraph()
+        pattern.add_vertex("x", AllType())
+        pattern.add_vertex("p", BasicType("Place"))
+        pattern.add_edge("e", "x", "p", AllType())
+        result = infer_types(pattern, tiny_schema)
+        assert result.pattern.vertex("x").constraint == UnionType("Person", "Product")
+
+    def test_user_union_constraint_narrowed(self, tiny_schema):
+        pattern = PatternGraph()
+        pattern.add_vertex("x", UnionType("Product", "Place"))
+        pattern.add_vertex("p", BasicType("Place"))
+        pattern.add_edge("e", "x", "p", AllType())
+        result = infer_types(pattern, tiny_schema)
+        assert result.pattern.vertex("x").constraint == BasicType("Product")
+        assert result.pattern.edge("e").constraint == BasicType("ProducedIn")
+
+    def test_propagation_chains_through_the_pattern(self, tiny_schema):
+        # (a) -> (b) -> (p:Product): b must be Person, hence a must be Person
+        pattern = PatternGraph()
+        pattern.add_vertex("a", AllType())
+        pattern.add_vertex("b", AllType())
+        pattern.add_vertex("p", BasicType("Product"))
+        pattern.add_edge("e1", "a", "b", AllType())
+        pattern.add_edge("e2", "b", "p", AllType())
+        result = infer_types(pattern, tiny_schema)
+        assert result.pattern.vertex("b").constraint == BasicType("Person")
+        assert result.pattern.vertex("a").constraint == BasicType("Person")
+        assert result.pattern.edge("e1").constraint == BasicType("Knows")
+
+    def test_path_edges_are_skipped(self, tiny_schema):
+        pattern = PatternGraph()
+        pattern.add_vertex("a", AllType())
+        pattern.add_vertex("b", BasicType("Place"))
+        pattern.add_edge("p", "a", "b", AllType(), min_hops=1, max_hops=3)
+        result = infer_types(pattern, tiny_schema)
+        assert result.valid
+        # the path edge gives no information, so 'a' stays unrestricted
+        assert result.pattern.vertex("a").constraint.resolve(tiny_schema.vertex_types) == \
+            frozenset(tiny_schema.vertex_types)
+
+    def test_ldbc_message_inference(self, ldbc_graph):
+        """An untyped vertex with HAS_CREATOR and HAS_TAG edges must be a message."""
+        schema = ldbc_graph.schema
+        pattern = PatternGraph()
+        pattern.add_vertex("m", AllType())
+        pattern.add_vertex("p", BasicType("Person"))
+        pattern.add_vertex("t", BasicType("Tag"))
+        pattern.add_edge("e1", "m", "p", BasicType("HAS_CREATOR"))
+        pattern.add_edge("e2", "m", "t", BasicType("HAS_TAG"))
+        result = infer_types(pattern, schema)
+        assert result.pattern.vertex("m").constraint == UnionType("Post", "Comment")
+
+    def test_predicates_and_columns_preserved(self, tiny_schema):
+        from repro.gir.expressions import parse_expression
+
+        pattern = PatternGraph()
+        pattern.add_vertex("a", AllType(), predicates=[parse_expression("a.name = 'x'")])
+        pattern.add_vertex("p", BasicType("Product"))
+        pattern.add_edge("e", "a", "p", AllType())
+        result = infer_types(pattern, tiny_schema)
+        assert len(result.pattern.vertex("a").predicates) == 1

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gir.expressions import BinaryOp, Literal, Property, parse_expression
+from repro.gir.pattern import PatternGraph
+from repro.graph.partition import GraphPartitioner
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.types import TypeConstraint
+from repro.optimizer.cardinality import GlogueQuery
+from repro.optimizer.glogue import Glogue
+
+TYPE_NAMES = ["Person", "Product", "Place", "Post", "Comment"]
+
+type_sets = st.sets(st.sampled_from(TYPE_NAMES), max_size=len(TYPE_NAMES))
+constraints = st.one_of(
+    st.just(TypeConstraint.all_types()),
+    type_sets.map(TypeConstraint),
+)
+
+
+class TestTypeConstraintAlgebra:
+    @given(constraints, constraints)
+    def test_intersection_is_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(constraints, constraints, constraints)
+    def test_intersection_is_associative(self, a, b, c):
+        assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
+
+    @given(constraints)
+    def test_intersection_with_all_is_identity(self, a):
+        assert a.intersect(TypeConstraint.all_types()) == a
+
+    @given(constraints, constraints, st.sampled_from(TYPE_NAMES))
+    def test_intersection_contains_iff_both_contain(self, a, b, name):
+        assert a.intersect(b).contains(name) == (a.contains(name) and b.contains(name))
+
+    @given(constraints, constraints, st.sampled_from(TYPE_NAMES))
+    def test_union_contains_iff_either_contains(self, a, b, name):
+        assert a.union_with(b).contains(name) == (a.contains(name) or b.contains(name))
+
+    @given(constraints)
+    def test_resolve_subset_of_universe(self, a):
+        resolved = a.resolve(TYPE_NAMES)
+        assert resolved <= frozenset(TYPE_NAMES)
+
+
+_RESERVED = {"and", "or", "not", "in", "true", "false", "null"}
+identifiers = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6).filter(
+    lambda word: word not in _RESERVED)
+numbers = st.integers(min_value=-10_000, max_value=10_000)
+
+
+class TestExpressionRoundTrip:
+    @given(identifiers, identifiers, numbers)
+    def test_comparison_round_trip(self, tag, key, value):
+        text = "%s.%s = %d" % (tag, key, value)
+        expr = parse_expression(text)
+        assert expr == BinaryOp("=", Property(tag, key), Literal(value))
+
+    @given(identifiers, st.lists(numbers, min_size=1, max_size=5))
+    def test_in_list_round_trip(self, tag, values):
+        text = "%s.id IN [%s]" % (tag, ", ".join(str(v) for v in values))
+        expr = parse_expression(text)
+        assert expr == BinaryOp("IN", Property(tag, "id"), Literal(tuple(values)))
+
+    @given(identifiers, numbers, numbers)
+    def test_conjunction_referenced_tags(self, tag, a, b):
+        expr = parse_expression("%s.x = %d AND %s.y = %d" % (tag, a, tag, b))
+        assert expr.referenced_tags() == {tag}
+        assert expr.referenced_properties() == {(tag, "x"), (tag, "y")}
+
+
+def _chain_pattern(names, types):
+    pattern = PatternGraph()
+    for name, vtype in zip(names, types):
+        pattern.add_vertex(name, TypeConstraint.basic(vtype))
+    for index in range(len(names) - 1):
+        pattern.add_edge("e%d" % index, names[index], names[index + 1])
+    return pattern
+
+
+class TestPatternInvariants:
+    @given(st.lists(st.sampled_from(TYPE_NAMES), min_size=2, max_size=5))
+    def test_canonical_key_invariant_under_renaming(self, types):
+        names_a = ["v%d" % i for i in range(len(types))]
+        names_b = ["node_%c" % chr(ord("a") + i) for i in range(len(types))]
+        assert _chain_pattern(names_a, types).canonical_key() == \
+            _chain_pattern(names_b, types).canonical_key()
+
+    @given(st.lists(st.sampled_from(TYPE_NAMES), min_size=2, max_size=5))
+    def test_chain_patterns_are_connected(self, types):
+        names = ["v%d" % i for i in range(len(types))]
+        pattern = _chain_pattern(names, types)
+        assert pattern.is_connected()
+        assert pattern.num_edges == pattern.num_vertices - 1
+
+    @given(st.lists(st.sampled_from(TYPE_NAMES), min_size=3, max_size=5),
+           st.integers(min_value=0, max_value=3))
+    def test_subpattern_by_edges_preserves_membership(self, types, drop_index):
+        names = ["v%d" % i for i in range(len(types))]
+        pattern = _chain_pattern(names, types)
+        kept = [e.name for i, e in enumerate(pattern.edges) if i != drop_index % pattern.num_edges]
+        sub = pattern.subpattern_by_edges(kept)
+        assert set(sub.edge_names) == set(kept)
+        for edge_name in kept:
+            edge = pattern.edge(edge_name)
+            assert sub.has_vertex(edge.src) and sub.has_vertex(edge.dst)
+
+
+class TestPartitionerProperties:
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=0, max_value=10_000))
+    def test_partition_in_range_and_stable(self, partitions, vertex):
+        partitioner = GraphPartitioner(partitions)
+        value = partitioner.partition_of(vertex)
+        assert 0 <= value < partitions
+        assert value == partitioner.partition_of(vertex)
+
+
+@st.composite
+def small_graphs(draw):
+    """Random small typed graphs for statistics invariants."""
+    num_vertices = draw(st.integers(min_value=2, max_value=12))
+    graph = PropertyGraph()
+    types = [draw(st.sampled_from(TYPE_NAMES[:3])) for _ in range(num_vertices)]
+    for vertex_type in types:
+        graph.add_vertex(vertex_type)
+    num_edges = draw(st.integers(min_value=1, max_value=20))
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        dst = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        if src == dst:
+            continue
+        graph.add_edge(src, dst, "REL")
+    return graph
+
+
+class TestStatisticsInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs())
+    def test_low_order_counts_sum_to_totals(self, graph):
+        glogue = Glogue.from_graph(graph)
+        assert sum(glogue.vertex_freq.values()) == graph.num_vertices
+        assert sum(glogue.triple_freq.values()) == graph.num_edges
+        assert sum(glogue.label_freq.values()) == graph.num_edges
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_graphs())
+    def test_estimates_are_non_negative(self, graph):
+        gq = GlogueQuery(Glogue.from_graph(graph))
+        pattern = PatternGraph()
+        pattern.add_vertex("a", TypeConstraint.basic("Person"))
+        pattern.add_vertex("b", TypeConstraint.all_types())
+        pattern.add_edge("e", "a", "b")
+        assert gq.get_freq(pattern) >= 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs())
+    def test_exact_single_edge_frequency_matches_graph(self, graph):
+        gq = GlogueQuery(Glogue.from_graph(graph))
+        pattern = PatternGraph()
+        pattern.add_vertex("a", TypeConstraint.all_types())
+        pattern.add_vertex("b", TypeConstraint.all_types())
+        pattern.add_edge("e", "a", "b", TypeConstraint.basic("REL"))
+        assert gq.get_freq(pattern) == float(graph.num_edges)

@@ -1,0 +1,73 @@
+"""Tests for the top-level GOpt facade."""
+
+import pytest
+
+from repro import GOpt
+from repro.backend import Neo4jLikeBackend
+from repro.errors import GOptError
+
+
+@pytest.fixture(scope="module")
+def gopt(social_graph):
+    return GOpt.for_graph(social_graph, backend="graphscope", num_partitions=2)
+
+
+class TestFacade:
+    def test_execute_cypher(self, gopt):
+        result = gopt.execute_cypher(
+            "MATCH (p:Person)-[:Knows]->(f:Person) RETURN f.name AS name LIMIT 5")
+        assert not result.timed_out
+        assert len(result.rows) <= 5
+        assert all("name" in row for row in result.rows)
+
+    def test_execute_gremlin(self, gopt):
+        result = gopt.execute_gremlin(
+            "g.V().hasLabel('Person').as('p').out('Knows').as('f').groupCount().by('f').limit(5)")
+        assert len(result.rows) <= 5
+
+    def test_cypher_and_gremlin_agree(self, gopt):
+        cypher = gopt.execute_cypher(
+            "MATCH (p:Person)-[:Purchases]->(m:Product) RETURN count(p) AS cnt")
+        gremlin = gopt.execute_gremlin(
+            "g.V().hasLabel('Person').as('p').out('Purchases').hasLabel('Product').as('m').count()")
+        assert cypher.rows[0]["cnt"] == gremlin.rows[0]["count"]
+
+    def test_parameters(self, gopt):
+        result = gopt.execute_cypher(
+            "MATCH (p:Person) WHERE p.id IN $ids RETURN p.name AS name",
+            parameters={"ids": [0, 1, 2]})
+        assert len(result.rows) == 3
+
+    def test_explain(self, gopt):
+        text = gopt.explain("MATCH (p:Person)-[:LocatedIn]->(c:Place) RETURN count(p) AS cnt")
+        assert "physical plan" in text
+        assert "Scan" in text
+
+    def test_optimize_returns_report(self, gopt):
+        report = gopt.optimize("MATCH (p:Person)-[:Knows]->(f:Person) RETURN count(p) AS c")
+        assert report.physical_plan.size() >= 3
+        assert report.estimated_cost > 0
+
+    def test_render_rows(self, gopt):
+        result = gopt.execute_cypher("MATCH (p:Person)-[:LocatedIn]->(c:Place) RETURN p, c LIMIT 3")
+        rendered = gopt.render_rows(result)
+        assert rendered and all(isinstance(v, str) for row in rendered for v in row.values())
+
+    def test_neo4j_backend_selection(self, social_graph):
+        gopt = GOpt.for_graph(social_graph, backend="neo4j")
+        assert isinstance(gopt.backend, Neo4jLikeBackend)
+        result = gopt.execute_cypher("MATCH (p:Person) RETURN count(p) AS c")
+        assert result.rows[0]["c"] == social_graph.vertex_count("Person")
+
+    def test_backend_instance_passthrough(self, social_graph):
+        backend = Neo4jLikeBackend(social_graph)
+        gopt = GOpt.for_graph(social_graph, backend=backend)
+        assert gopt.backend is backend
+
+    def test_unknown_backend_rejected(self, social_graph):
+        with pytest.raises(GOptError):
+            GOpt.for_graph(social_graph, backend="mystery")
+
+    def test_unknown_language_rejected(self, gopt):
+        with pytest.raises(GOptError):
+            gopt.parse("MATCH (a) RETURN a", language="sparql")

@@ -1,0 +1,90 @@
+"""Miscellaneous coverage: errors, plan serialisation, explain output, reporting."""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.gir import GraphIrBuilder
+from repro.graph.types import AllType, BasicType, Direction
+from repro.lang.cypher import cypher_to_gir
+from repro.optimizer.planner import GOptimizer
+from repro.optimizer.physical_spec import graphscope_profile, neo4j_profile
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.SchemaError, errors.GOptError)
+        assert issubclass(errors.ParseError, errors.GOptError)
+        assert issubclass(errors.ExecutionTimeout, errors.ExecutionError)
+
+    def test_parse_error_carries_position(self):
+        err = errors.ParseError("boom", position=3, text="abc")
+        assert err.position == 3
+        assert err.text == "abc"
+
+    def test_execution_timeout_carries_metrics(self):
+        err = errors.ExecutionTimeout("over", metrics={"intermediate_results": 5})
+        assert err.metrics["intermediate_results"] == 5
+
+
+class TestPhysicalPlanSerialisation:
+    @pytest.fixture()
+    def report(self, social_graph):
+        optimizer = GOptimizer.for_graph(social_graph, profile=graphscope_profile())
+        plan = cypher_to_gir(
+            "MATCH (p:Person)-[:Knows]->(f:Person)-[:LocatedIn]->(c:Place) "
+            "WHERE c.name = 'China' RETURN count(p) AS cnt")
+        return optimizer.optimize(plan)
+
+    def test_to_dict_is_json_serialisable(self, report):
+        payload = report.physical_plan.to_dict()
+        text = json.dumps(payload)
+        assert "inputs" in text
+
+    def test_to_dict_nests_inputs(self, report):
+        payload = report.physical_plan.to_dict()
+        depth = 0
+        node = payload
+        while node.get("inputs"):
+            node = node["inputs"][0]
+            depth += 1
+        assert depth >= 2
+        assert node["op"] == "ScanVertex"
+
+    def test_explain_mentions_backend_operators(self, report):
+        text = report.physical_plan.explain()
+        assert "Scan" in text
+        assert "Aggregate" in text
+
+    def test_operator_counts(self, report):
+        physical = report.physical_plan
+        assert physical.size() == len(list(physical.operators()))
+        assert physical.size() >= 4
+
+
+class TestProfilesOnPlanShape:
+    def test_profiles_lead_to_different_plan_operators(self, social_graph):
+        plan = cypher_to_gir(
+            "MATCH (a:Person)-[:Knows]->(b:Person)-[:Knows]->(c:Person), (a)-[:Knows]->(c) "
+            "RETURN count(a) AS cnt")
+        gs = GOptimizer.for_graph(social_graph, profile=graphscope_profile()).optimize(plan)
+        neo = GOptimizer.for_graph(social_graph, profile=neo4j_profile()).optimize(plan)
+        gs_ops = {op.name for op in gs.physical_plan.operators()}
+        neo_ops = {op.name for op in neo.physical_plan.operators()}
+        assert "ExpandIntersect" in gs_ops
+        assert "ExpandIntersect" not in neo_ops
+
+
+class TestBuilderDefaults:
+    def test_anonymous_aliases_are_generated(self):
+        builder = GraphIrBuilder()
+        handle = (builder.pattern_start()
+                  .get_v(vtype=BasicType("Person"))
+                  .expand_e(direction=Direction.OUT)
+                  .get_v(vtype=AllType())
+                  .pattern_end())
+        pattern = handle.root.pattern
+        assert pattern.num_vertices == 2
+        assert pattern.num_edges == 1
+        assert all(name.startswith("_") for name in pattern.vertex_names)

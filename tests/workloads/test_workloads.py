@@ -1,0 +1,118 @@
+"""Tests for the workload query suites: they must parse, plan and execute."""
+
+import pytest
+
+from repro.backend import GraphScopeLikeBackend
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.glogue import Glogue
+from repro.optimizer.cardinality import GlogueQuery
+from repro.optimizer.physical_spec import graphscope_profile
+from repro.optimizer.planner import GOptimizer
+from repro.workloads import bi_queries, ic_queries, qc_queries, qr_queries, qt_queries, st_queries
+from repro.workloads.st_paths import (
+    join_position,
+    single_direction_plan,
+    split_plan,
+    st_path_cypher,
+    st_path_pattern,
+)
+
+
+class TestQuerySets:
+    def test_expected_sizes(self, finance):
+        _, id_sets = finance
+        assert len(qr_queries()) == 8
+        assert len(qt_queries()) == 5
+        assert len(qc_queries()) == 8
+        assert len(ic_queries()) == 12
+        assert len(bi_queries()) == 17
+        assert len(st_queries(id_sets)) == 5
+
+    def test_query_names_unique(self):
+        names = [q.name for q in list(ic_queries()) + list(bi_queries())]
+        assert len(names) == len(set(names))
+
+    def test_get_by_name(self):
+        assert qr_queries().get("QR5").name == "QR5"
+        with pytest.raises(KeyError):
+            qr_queries().get("QR99")
+
+    def test_gremlin_coverage(self):
+        gremlin_capable = [q.name for q in list(qr_queries()) + list(qc_queries()) if q.has_gremlin]
+        assert "QR1" in gremlin_capable and "QC4a" in gremlin_capable
+        assert len(gremlin_capable) >= 10
+
+    def test_gremlin_missing_raises(self):
+        query = qt_queries().get("QT1")
+        with pytest.raises(ValueError):
+            query.logical_plan(language="gremlin")
+
+
+class TestPlansAreWellFormed:
+    @pytest.mark.parametrize("query", list(qr_queries()) + list(qt_queries()) + list(qc_queries()),
+                             ids=lambda q: q.name)
+    def test_micro_queries_lower_to_gir(self, query):
+        plan = query.logical_plan()
+        assert plan.size() >= 1
+        assert plan.patterns(), "every micro query contains a pattern"
+
+    @pytest.mark.parametrize("query", list(ic_queries()) + list(bi_queries()), ids=lambda q: q.name)
+    def test_ldbc_queries_lower_to_gir(self, query):
+        plan = query.logical_plan()
+        assert plan.patterns()
+
+    @pytest.mark.parametrize("query", [q for q in list(qr_queries()) + list(qc_queries()) if q.has_gremlin],
+                             ids=lambda q: q.name)
+    def test_gremlin_forms_lower_to_gir(self, query):
+        plan = query.logical_plan(language="gremlin")
+        assert plan.patterns()
+
+    @pytest.mark.parametrize("query", list(ic_queries()) + list(bi_queries()), ids=lambda q: q.name)
+    def test_ldbc_queries_optimize_and_execute(self, query, ldbc_graph, ldbc_glogue):
+        backend = GraphScopeLikeBackend(ldbc_graph, max_intermediate_results=300_000,
+                                        timeout_seconds=20.0)
+        optimizer = GOptimizer.for_graph(ldbc_graph, profile=backend.profile(), glogue=ldbc_glogue)
+        report = optimizer.optimize(query.logical_plan())
+        result = backend.execute(report.physical_plan)
+        assert not result.timed_out, "optimized LDBC query should finish within budget"
+
+
+class TestStPaths:
+    def test_cypher_text_unrolls_hops(self):
+        text = st_path_cypher(hops=3)
+        assert text.count("TRANSFERS") == 3
+        assert "$S1" in text and "$S2" in text
+
+    def test_pattern_construction(self):
+        pattern = st_path_pattern([1, 2], [3], hops=3)
+        assert pattern.num_vertices == 4
+        assert pattern.num_edges == 3
+        assert len(pattern.vertex("p0").predicates) == 1
+        assert len(pattern.vertex("p3").predicates) == 1
+
+    def test_split_plan_positions(self, finance):
+        graph, id_sets = finance
+        gq = GlogueQuery(Glogue.from_graph(graph))
+        cost_model = CostModel(gq, graphscope_profile())
+        pattern = st_path_pattern(id_sets["S1_small"], id_sets["S2_small"], hops=4)
+        plan = split_plan(pattern, cost_model, left_hops=1)
+        assert join_position(plan) == "(1, 3)"
+        single = single_direction_plan(pattern, cost_model)
+        assert join_position(single) == "(4, 0)"
+
+    def test_split_plan_validates_bounds(self, finance):
+        graph, id_sets = finance
+        gq = GlogueQuery(Glogue.from_graph(graph))
+        cost_model = CostModel(gq, graphscope_profile())
+        pattern = st_path_pattern(id_sets["S1_small"], id_sets["S2_small"], hops=4)
+        with pytest.raises(ValueError):
+            split_plan(pattern, cost_model, left_hops=0)
+        with pytest.raises(ValueError):
+            split_plan(pattern, cost_model, left_hops=4)
+
+    def test_st_queries_carry_parameters(self, finance):
+        _, id_sets = finance
+        queries = st_queries(id_sets, hops=3)
+        query = queries.get("ST1")
+        plan = query.logical_plan()
+        assert plan.patterns()[0].pattern.num_edges == 3
