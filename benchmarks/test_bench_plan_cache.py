@@ -1,0 +1,59 @@
+"""Plan-cache benchmark: repeated parameterized queries skip parse+optimize.
+
+Simulates the production pattern the cache exists for -- one query template
+executed many times with a rotating set of parameter values -- and reports
+the per-call latency with the cache enabled vs disabled.
+"""
+
+import time
+
+from repro import GOpt
+from repro.bench import format_table
+
+from bench_utils import run_once
+
+TEMPLATE = """
+    MATCH (p:Person)-[:KNOWS]->(f:Person)-[:IS_LOCATED_IN]->(c:Place)
+    WHERE p.id IN $ids
+    RETURN c.name AS place, count(f) AS cnt
+"""
+PARAM_SETS = [{"ids": [i, i + 1, i + 2]} for i in range(0, 40, 10)]
+REPEATS = 15
+
+
+def _run_workload(gopt):
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        for params in PARAM_SETS:
+            gopt.execute_cypher(TEMPLATE, parameters=params)
+    return time.perf_counter() - start
+
+
+def test_bench_plan_cache(benchmark, g30):
+    graph, _ = g30
+
+    def compare():
+        cached = GOpt.for_graph(graph, backend="graphscope", plan_cache_size=128)
+        uncached = GOpt.for_graph(graph, backend="graphscope", plan_cache_size=None)
+        cached_seconds = _run_workload(cached)
+        uncached_seconds = _run_workload(uncached)
+        info = cached.cache_info()
+        return [{
+            "calls": REPEATS * len(PARAM_SETS),
+            "cached_seconds": cached_seconds,
+            "uncached_seconds": uncached_seconds,
+            "speedup": uncached_seconds / cached_seconds if cached_seconds else None,
+            "cache_hits": info.hits,
+            "cache_misses": info.misses,
+        }]
+
+    rows = run_once(benchmark, compare)
+    print()
+    print(format_table(rows, title="Plan cache: repeated parameterized query latency"))
+    row = rows[0]
+    # every template+params combination misses once, then always hits
+    assert row["cache_misses"] == len(PARAM_SETS)
+    assert row["cache_hits"] == (REPEATS - 1) * len(PARAM_SETS)
+    # optimization is a large fraction of repeated-query latency; the cache
+    # must make the workload faster overall (1.0 would mean no benefit)
+    assert row["speedup"] is not None and row["speedup"] > 1.0

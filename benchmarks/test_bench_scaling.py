@@ -42,3 +42,37 @@ def test_bench_scaling_bi(benchmark):
     print(format_table(rows, title="Fig. 10(b): BI query runtimes across dataset scales"))
     print("G1000/G30 degradation per query:", _degradation(rows))
     assert {row["scale"] for row in rows} == set(SCALES)
+
+
+def test_bench_scaling_engines(benchmark, g30, g100):
+    """Row vs vectorized interpreter on identical plans across two scales.
+
+    The vectorized engine must be no slower than the row engine in aggregate
+    (small per-query jitter is absorbed by summing, plus a timer-noise
+    allowance in the asserted bound) and must return identical rows for
+    every query.
+    """
+
+    def compare_engines():
+        rows = []
+        for scale, (graph, glogue) in (("G30", g30), ("G100", g100)):
+            for row in experiments.engine_comparison_experiment(
+                    graph, query_names=IC_SUBSET + BI_SUBSET, glogue=glogue):
+                rows.append({"scale": scale, **row})
+        return rows
+
+    rows = run_once(benchmark, compare_engines)
+    print()
+    print(format_table(rows, title="Engine comparison: row vs vectorized runtimes"))
+    assert all(row["rows_match"] for row in rows)
+    # compare only queries both engines completed, so a one-sided OT cannot
+    # skew the ratio by dropping a query from just one of the two sums
+    completed = [r for r in rows if isinstance(r["row_seconds"], float)
+                 and isinstance(r["vectorized_seconds"], float)]
+    row_total = sum(r["row_seconds"] for r in completed)
+    vec_total = sum(r["vectorized_seconds"] for r in completed)
+    ratio = vec_total / row_total if row_total else 1.0
+    print("total vectorized/row runtime ratio: %.3f" % ratio)
+    # regression guard, not a tight bound: typical measured ratio is ~0.66,
+    # and the slack absorbs timer noise on loaded CI runners
+    assert ratio <= 1.25, "vectorized engine slower than row engine (ratio %.3f)" % ratio

@@ -6,21 +6,36 @@ results in two lines::
 
     gopt = GOpt.for_graph(graph, backend="graphscope")
     result = gopt.execute_cypher("MATCH (a:Person)-[:KNOWS]->(b) RETURN b LIMIT 5")
+
+Two runtime knobs matter for serving traffic:
+
+* ``engine`` selects the plan interpreter -- ``"row"`` (tuple-at-a-time) or
+  ``"vectorized"`` (columnar batches); both return identical rows.
+* A built-in LRU **plan cache** memoizes parse+optimize results per
+  (normalized query text, language, parameter signature, environment), so a
+  repeated parameterized query goes straight to execution.  Inspect it with
+  :meth:`GOpt.cache_info`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.backend import Backend, GraphScopeLikeBackend, Neo4jLikeBackend
-from repro.backend.base import ExecutionResult
+from repro.backend.base import ENGINES, ExecutionResult
 from repro.errors import GOptError
 from repro.gir.plan import LogicalPlan
 from repro.graph.property_graph import PropertyGraph
 from repro.lang.cypher import cypher_to_gir
 from repro.lang.gremlin import gremlin_to_gir
 from repro.optimizer.planner import GOptimizer, OptimizationReport, OptimizerConfig
+from repro.plan_cache import (
+    PlanCache,
+    PlanCacheInfo,
+    normalize_query_text,
+    parameter_signature,
+)
 
 
 @dataclass
@@ -51,12 +66,16 @@ class GOpt:
         backend: Union[str, Backend] = "graphscope",
         config: Optional[OptimizerConfig] = None,
         optimizer: Optional[GOptimizer] = None,
+        plan_cache_size: Optional[int] = 128,
         **backend_options,
     ):
         self.graph = graph
         self.backend = self._make_backend(backend, graph, backend_options)
         self.optimizer = optimizer or GOptimizer.for_graph(
             graph, profile=self.backend.profile(), config=config
+        )
+        self._plan_cache: Optional[PlanCache] = (
+            PlanCache(plan_cache_size) if plan_cache_size else None
         )
 
     # -- constructors ----------------------------------------------------------
@@ -66,19 +85,37 @@ class GOpt:
         graph: PropertyGraph,
         backend: Union[str, Backend] = "graphscope",
         config: Optional[OptimizerConfig] = None,
+        plan_cache_size: Optional[int] = 128,
         **backend_options,
     ) -> "GOpt":
-        return cls(graph, backend=backend, config=config, **backend_options)
+        return cls(graph, backend=backend, config=config,
+                   plan_cache_size=plan_cache_size, **backend_options)
 
     @staticmethod
     def _make_backend(backend, graph, options) -> Backend:
         if isinstance(backend, Backend):
+            if options:
+                raise GOptError(
+                    "backend options %s cannot be combined with a Backend instance; "
+                    "configure the instance directly" % (sorted(options),))
             return backend
         if backend == "neo4j":
             return Neo4jLikeBackend(graph, **options)
         if backend == "graphscope":
             return GraphScopeLikeBackend(graph, **options)
         raise GOptError("unknown backend %r (expected 'neo4j' or 'graphscope')" % (backend,))
+
+    # -- engine selection -------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        """The execution engine the backend interprets plans with."""
+        return self.backend.engine
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        if value not in ENGINES:
+            raise GOptError("unknown engine %r (expected one of %s)" % (value, list(ENGINES)))
+        self.backend.engine = value
 
     # -- parsing ---------------------------------------------------------------------
     def parse(
@@ -94,6 +131,42 @@ class GOpt:
             return gremlin_to_gir(query)
         raise GOptError("unsupported query language %r" % (language,))
 
+    # -- plan cache -------------------------------------------------------------------
+    def cache_info(self) -> PlanCacheInfo:
+        """Hit/miss/size/eviction accounting of the plan cache."""
+        if self._plan_cache is None:
+            return PlanCacheInfo(hits=0, misses=0, size=0, capacity=0, evictions=0)
+        return self._plan_cache.info()
+
+    def clear_plan_cache(self) -> None:
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
+
+    def _environment_token(self) -> Tuple:
+        """Fingerprint of everything a cached plan depends on besides the query.
+
+        If the data graph grows/shrinks, the backend engine flips, or the
+        optimizer is reconfigured, the token changes and stale entries are
+        bypassed (they age out of the LRU naturally).
+        """
+        return (
+            self.backend.name,
+            self.backend.engine,
+            self.graph.num_vertices,
+            self.graph.num_edges,
+            repr(self.optimizer.config),
+        )
+
+    def _cache_key(
+        self, query: str, language: str, parameters: Optional[Dict[str, object]]
+    ) -> Tuple:
+        return (
+            normalize_query_text(query),
+            language,
+            parameter_signature(parameters),
+            self._environment_token(),
+        )
+
     # -- optimization / execution ----------------------------------------------------
     def optimize(
         self,
@@ -101,9 +174,22 @@ class GOpt:
         language: str = "cypher",
         parameters: Optional[Dict[str, object]] = None,
     ) -> OptimizationReport:
-        """Optimize a query (text or logical plan) into a physical plan."""
-        plan = query if isinstance(query, LogicalPlan) else self.parse(query, language, parameters)
-        return self.optimizer.optimize(plan)
+        """Optimize a query (text or logical plan) into a physical plan.
+
+        Text queries are served from the LRU plan cache when an equivalent
+        (text, language, parameters, environment) combination was optimized
+        before; logical-plan inputs always optimize fresh.
+        """
+        if isinstance(query, LogicalPlan):
+            return self.optimizer.optimize(query)
+        if self._plan_cache is None:
+            return self.optimizer.optimize(self.parse(query, language, parameters))
+        key = self._cache_key(query, language, parameters)
+        report = self._plan_cache.get(key)
+        if report is None:
+            report = self.optimizer.optimize(self.parse(query, language, parameters))
+            self._plan_cache.put(key, report)
+        return report
 
     def execute(
         self,

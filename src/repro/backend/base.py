@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.backend.runtime.binding import ERef, PRef, VRef
 from repro.backend.runtime.context import ExecutionContext
 from repro.backend.runtime.operators import execute_operator
+from repro.backend.runtime.vectorized import execute_vectorized
 from repro.errors import ExecutionTimeout
 from repro.graph.partition import GraphPartitioner
 from repro.graph.property_graph import PropertyGraph
@@ -70,8 +71,25 @@ class ExecutionResult:
         return [tuple(row.get(col) for col in columns) for row in self.rows]
 
 
+#: execution engines understood by every backend
+ENGINES = ("row", "vectorized")
+
+
 class Backend:
-    """Common machinery for the simulated execution backends."""
+    """Common machinery for the simulated execution backends.
+
+    Every backend can interpret physical plans with either of two engines:
+
+    * ``"row"`` -- the original tuple-at-a-time interpreter
+      (:mod:`repro.backend.runtime.operators`);
+    * ``"vectorized"`` -- the columnar batch interpreter
+      (:mod:`repro.backend.runtime.vectorized`), processing binding tables as
+      column batches in chunks of ``batch_size`` rows.
+
+    Both engines produce identical rows in identical order and charge the
+    work counters identically (enforced by the differential test suite), so
+    the engine choice only affects wall-clock speed.
+    """
 
     name = "backend"
 
@@ -80,10 +98,18 @@ class Backend:
         graph: PropertyGraph,
         max_intermediate_results: Optional[int] = 2_000_000,
         timeout_seconds: Optional[float] = 60.0,
+        engine: str = "row",
+        batch_size: int = 1024,
     ):
+        if engine not in ENGINES:
+            raise ValueError("unknown engine %r (expected one of %s)" % (engine, list(ENGINES)))
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.graph = graph
         self.max_intermediate_results = max_intermediate_results
         self.timeout_seconds = timeout_seconds
+        self.engine = engine
+        self.batch_size = batch_size
 
     # subclasses override to provide a partitioner (distributed backends)
     def _partitioner(self) -> Optional[GraphPartitioner]:
@@ -93,23 +119,32 @@ class Backend:
         """The PhysicalSpec profile this backend registers with the optimizer."""
         raise NotImplementedError
 
-    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+    def execute(self, plan: PhysicalPlan, engine: Optional[str] = None) -> ExecutionResult:
         """Interpret a physical plan, enforcing the time/intermediate budget.
 
-        Plans exceeding the budget return an empty result flagged
-        ``timed_out`` (the harness reports them as OT, like the paper).
+        ``engine`` overrides the backend's configured engine for this one
+        execution (used by the differential tests and benchmarks).  Plans
+        exceeding the budget return an empty result flagged ``timed_out``
+        (the harness reports them as OT, like the paper).
         """
+        engine = engine or self.engine
+        if engine not in ENGINES:
+            raise ValueError("unknown engine %r (expected one of %s)" % (engine, list(ENGINES)))
         ctx = ExecutionContext(
             self.graph,
             partitioner=self._partitioner(),
             max_intermediate_results=self.max_intermediate_results,
             timeout_seconds=self.timeout_seconds,
+            batch_size=self.batch_size,
         )
         start = time.perf_counter()
         timed_out = False
         rows: List[dict] = []
         try:
-            rows = execute_operator(plan.root, ctx)
+            if engine == "vectorized":
+                rows = execute_vectorized(plan.root, ctx).to_rows()
+            else:
+                rows = execute_operator(plan.root, ctx)
         except ExecutionTimeout:
             timed_out = True
         elapsed = time.perf_counter() - start

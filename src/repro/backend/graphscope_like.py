@@ -28,8 +28,11 @@ class GraphScopeLikeBackend(Backend):
         num_partitions: int = 4,
         max_intermediate_results: Optional[int] = 2_000_000,
         timeout_seconds: Optional[float] = 60.0,
+        engine: str = "row",
+        batch_size: int = 1024,
     ):
-        super().__init__(graph, max_intermediate_results, timeout_seconds)
+        super().__init__(graph, max_intermediate_results, timeout_seconds,
+                         engine=engine, batch_size=batch_size)
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.num_partitions = num_partitions

@@ -27,8 +27,11 @@ class Neo4jLikeBackend(Backend):
         graph: PropertyGraph,
         max_intermediate_results: Optional[int] = 2_000_000,
         timeout_seconds: Optional[float] = 60.0,
+        engine: str = "row",
+        batch_size: int = 1024,
     ):
-        super().__init__(graph, max_intermediate_results, timeout_seconds)
+        super().__init__(graph, max_intermediate_results, timeout_seconds,
+                         engine=engine, batch_size=batch_size)
 
     def _partitioner(self) -> Optional[GraphPartitioner]:
         return None

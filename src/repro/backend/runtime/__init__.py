@@ -1,7 +1,20 @@
-"""Shared runtime pieces: binding values, execution context and the interpreter."""
+"""Shared runtime pieces: binding values, execution context and interpreters."""
 
 from repro.backend.runtime.binding import ERef, PRef, VRef
+from repro.backend.runtime.columnar import MISSING, ColumnBatch, OverlayBinding, RowCursor
 from repro.backend.runtime.context import ExecutionContext
 from repro.backend.runtime.operators import execute_operator
+from repro.backend.runtime.vectorized import execute_vectorized
 
-__all__ = ["VRef", "ERef", "PRef", "ExecutionContext", "execute_operator"]
+__all__ = [
+    "VRef",
+    "ERef",
+    "PRef",
+    "ExecutionContext",
+    "execute_operator",
+    "execute_vectorized",
+    "ColumnBatch",
+    "RowCursor",
+    "OverlayBinding",
+    "MISSING",
+]

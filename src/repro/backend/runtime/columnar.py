@@ -1,0 +1,211 @@
+"""Columnar binding tables for the vectorized execution engine.
+
+A :class:`ColumnBatch` stores a binding table as parallel lists keyed by tag
+("struct of arrays") instead of the row engine's ``List[Dict]`` ("array of
+structs").  Rows whose tag set differs within one table -- e.g. the unmatched
+side of a left-outer join -- are represented with the :data:`MISSING` sentinel
+so that a batch can always be converted back into exactly the dict rows the
+row engine would have produced.
+
+:class:`RowCursor` and :class:`OverlayBinding` provide the dict-like ``get``
+interface the :class:`~repro.gir.expressions.ExpressionEvaluator` expects, so
+predicates and projections can be evaluated against a batch position without
+materialising a per-row dict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+
+class _Missing:
+    """Sentinel marking an absent cell (the row has no binding for the tag)."""
+
+    __slots__ = ()
+    _instance: Optional["_Missing"] = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The absent-cell sentinel.  ``None`` cannot play this role because NULL is a
+#: legal binding value (e.g. an aggregate over an empty group).
+MISSING = _Missing()
+
+
+class RowCursor:
+    """A movable dict-like view over one row position of a set of columns.
+
+    The evaluator only needs ``binding.get(tag)``; a cursor provides it by
+    indexing the columns at :attr:`index`, which callers advance in a loop.
+    One cursor is reused for a whole batch, avoiding a dict per row.
+    """
+
+    __slots__ = ("_columns", "index")
+
+    def __init__(self, columns: Dict[str, List[object]], index: int = 0):
+        self._columns = columns
+        self.index = index
+
+    def get(self, tag: str, default=None):
+        column = self._columns.get(tag)
+        if column is None:
+            return default
+        value = column[self.index]
+        return default if value is MISSING else value
+
+    def items(self) -> Iterator:
+        for tag, column in self._columns.items():
+            value = column[self.index]
+            if value is not MISSING:
+                yield tag, value
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.items())
+
+
+class OverlayBinding:
+    """A binding that answers from ``extra`` first, then a base binding.
+
+    Used when probing predicates for a candidate element that is not part of
+    the batch yet (the row engine builds ``dict(row); probe[tag] = ref`` --
+    this is the copy-free equivalent).
+    """
+
+    __slots__ = ("base", "extra")
+
+    def __init__(self, base, extra: Dict[str, object]):
+        self.base = base
+        self.extra = extra
+
+    def get(self, tag: str, default=None):
+        if tag in self.extra:
+            return self.extra[tag]
+        if self.base is None:
+            return default
+        return self.base.get(tag, default)
+
+
+class ColumnBatch:
+    """An immutable-by-convention columnar binding table.
+
+    ``columns`` maps each tag to a list of values; all lists share the same
+    length ``num_rows``.  Absent cells hold :data:`MISSING`.
+    """
+
+    __slots__ = ("columns", "num_rows")
+
+    def __init__(self, columns: Dict[str, List[object]], num_rows: Optional[int] = None):
+        self.columns = columns
+        if num_rows is None:
+            num_rows = len(next(iter(columns.values()))) if columns else 0
+        self.num_rows = num_rows
+        for tag, column in columns.items():
+            if len(column) != num_rows:
+                raise ValueError(
+                    "column %r has %d rows, expected %d" % (tag, len(column), num_rows))
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "ColumnBatch":
+        return cls({}, 0)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Dict[str, object]]) -> "ColumnBatch":
+        """Pivot dict rows into columns (tags absent from a row become MISSING)."""
+        tags: Dict[str, None] = {}
+        for row in rows:
+            for tag in row:
+                tags.setdefault(tag)
+        columns: Dict[str, List[object]] = {
+            tag: [row.get(tag, MISSING) for row in rows] for tag in tags
+        }
+        return cls(columns, len(rows))
+
+    # -- conversion -------------------------------------------------------------
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Pivot back into the row engine's dict rows, dropping MISSING cells."""
+        items = list(self.columns.items())
+        rows: List[Dict[str, object]] = []
+        for index in range(self.num_rows):
+            row = {}
+            for tag, column in items:
+                value = column[index]
+                if value is not MISSING:
+                    row[tag] = value
+            rows.append(row)
+        return rows
+
+    def cursor(self) -> RowCursor:
+        return RowCursor(self.columns)
+
+    # -- accounting -------------------------------------------------------------
+    def cell_count(self) -> int:
+        """Number of present (non-MISSING) cells; matches the row engine's
+        ``sum(len(row) for row in rows)``."""
+        total = 0
+        for column in self.columns.values():
+            for value in column:
+                if value is not MISSING:
+                    total += 1
+        return total
+
+    # -- columnar kernels -------------------------------------------------------
+    def column(self, tag: str) -> Optional[List[object]]:
+        return self.columns.get(tag)
+
+    def gather_columns(self, indices: Sequence[int]) -> Dict[str, List[object]]:
+        """Gather every column at ``indices`` (the core columnar primitive)."""
+        return {tag: [column[i] for i in indices]
+                for tag, column in self.columns.items()}
+
+    def gather(self, indices: Sequence[int]) -> "ColumnBatch":
+        return ColumnBatch(self.gather_columns(indices), len(indices))
+
+    def head(self, count: int) -> "ColumnBatch":
+        if count >= self.num_rows:
+            return self
+        return ColumnBatch({tag: column[:count] for tag, column in self.columns.items()},
+                           count)
+
+    def chunk_bounds(self, batch_size: int) -> Iterator[range]:
+        """Row-index ranges of size ``batch_size`` covering the batch."""
+        if batch_size <= 0:
+            batch_size = self.num_rows or 1
+        for start in range(0, self.num_rows, batch_size):
+            yield range(start, min(start + batch_size, self.num_rows))
+
+    @staticmethod
+    def concat(batches: Iterable["ColumnBatch"]) -> "ColumnBatch":
+        """Stack batches vertically; tags missing from one side become MISSING."""
+        batches = [b for b in batches]
+        tags: Dict[str, None] = {}
+        for batch in batches:
+            for tag in batch.columns:
+                tags.setdefault(tag)
+        total = sum(b.num_rows for b in batches)
+        columns: Dict[str, List[object]] = {}
+        for tag in tags:
+            column: List[object] = []
+            for batch in batches:
+                existing = batch.columns.get(tag)
+                if existing is None:
+                    column.extend([MISSING] * batch.num_rows)
+                else:
+                    column.extend(existing)
+            columns[tag] = column
+        return ColumnBatch(columns, total)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return "ColumnBatch(tags=%s, rows=%d)" % (list(self.columns), self.num_rows)

@@ -44,14 +44,18 @@ class ExecutionContext:
         partitioner: Optional[GraphPartitioner] = None,
         max_intermediate_results: Optional[int] = None,
         timeout_seconds: Optional[float] = None,
+        batch_size: int = 1024,
     ):
         self.graph = graph
         self.partitioner = partitioner
         self.counters = WorkCounters()
         self.max_intermediate_results = max_intermediate_results
         self.timeout_seconds = timeout_seconds
+        self.batch_size = batch_size
         self._start_time = time.perf_counter()
-        self._operator_cache: Dict[int, List[dict]] = {}
+        # keyed by id(op); the operator object is pinned alongside its result
+        # so a recycled id() can never alias a different operator's cache slot
+        self._operator_cache: Dict[int, tuple] = {}
         self.evaluator = ExpressionEvaluator(
             resolve_tag=self._resolve_tag,
             resolve_property=self._resolve_property,
@@ -103,11 +107,15 @@ class ExecutionContext:
             self.counters.tuples_shuffled += rows
 
     # -- operator result cache (ComSubPattern sharing) ---------------------------------
-    def cached_result(self, op_id: int) -> Optional[List[dict]]:
-        return self._operator_cache.get(op_id)
+    # The cache lives on the context, which is created fresh for every
+    # Backend.execute() call -- memoized subtree results are therefore scoped
+    # to one execution and can never leak between plans run on one backend.
+    def cached_result(self, op_id: int):
+        entry = self._operator_cache.get(op_id)
+        return entry[1] if entry is not None else None
 
-    def cache_result(self, op_id: int, rows: List[dict]) -> None:
-        self._operator_cache[op_id] = rows
+    def cache_result(self, op_id: int, rows, op=None) -> None:
+        self._operator_cache[op_id] = (op, rows)
 
     # -- expression resolution ------------------------------------------------------------
     def _resolve_tag(self, tag: str, binding: dict):

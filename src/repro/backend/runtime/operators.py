@@ -53,7 +53,7 @@ def execute_operator(op: PhysicalOperator, ctx: ExecutionContext) -> List[Row]:
     # the "width" of intermediate results matters for FieldTrim: carrying fewer
     # tags/columns through shuffles and aggregation is cheaper
     ctx.counters.cells_produced += sum(len(row) for row in rows)
-    ctx.cache_result(id(op), rows)
+    ctx.cache_result(id(op), rows, op)
     return rows
 
 

@@ -321,13 +321,19 @@ def scaling_experiment(
     workload: str = "IC",
     seed: int = 42,
     timeout_seconds: float = 30.0,
+    engine: str = "row",
 ) -> List[Dict[str, object]]:
-    """GOpt-on-GraphScope runtimes across dataset scales (Fig. 10(a)/(b))."""
+    """GOpt-on-GraphScope runtimes across dataset scales (Fig. 10(a)/(b)).
+
+    ``engine`` selects the plan interpreter (``"row"`` or ``"vectorized"``);
+    the engine-comparison benchmark sweeps both on the same plans.
+    """
     queries = _select_queries(ic_queries() if workload == "IC" else bi_queries(), query_names)
     rows = []
     for scale in scales:
         graph = ldbc_snb_graph(scale, seed=seed)
-        backend = make_backend(graph, "graphscope", timeout_seconds=timeout_seconds)
+        backend = make_backend(graph, "graphscope", timeout_seconds=timeout_seconds,
+                               engine=engine)
         glogue = Glogue.from_graph(graph)
         optimizer = build_optimizer(graph, "gopt", profile=backend.profile(), glogue=glogue)
         for query in queries:
@@ -336,9 +342,53 @@ def scaling_experiment(
                 "workload": workload,
                 "query": query.name,
                 "scale": scale,
+                "engine": engine,
                 "runtime": outcome["runtime"],
                 "work": outcome["work"],
             })
+    return rows
+
+
+# -- engine comparison: row vs vectorized interpreter -------------------------------------------------
+
+def engine_comparison_experiment(
+    graph: PropertyGraph,
+    query_names: Optional[Sequence[str]] = None,
+    backend_kind: str = "graphscope",
+    backend: Optional[Backend] = None,
+    glogue: Optional[Glogue] = None,
+) -> List[Dict[str, object]]:
+    """Row vs vectorized engine on identical physical plans (IC + BI workload).
+
+    Each query is optimized once; the same plan is then interpreted by both
+    engines, so the measured difference is purely interpreter overhead.  The
+    ``rows_match`` column double-checks result equivalence inside the
+    benchmark itself.
+    """
+    backend = backend or make_backend(graph, backend_kind)
+    glogue = glogue or Glogue.from_graph(graph)
+    optimizer = build_optimizer(graph, "gopt", profile=backend.profile(), glogue=glogue)
+    queries = list(ic_queries()) + list(bi_queries())
+    if query_names is not None:
+        wanted = set(query_names)
+        queries = [q for q in queries if q.name in wanted]
+    rows = []
+    for query in queries:
+        report = optimizer.optimize(query.logical_plan())
+        row_result = backend.execute(report.physical_plan, engine="row")
+        vec_result = backend.execute(report.physical_plan, engine="vectorized")
+        row_seconds = row_result.metrics.elapsed_seconds
+        vec_seconds = vec_result.metrics.elapsed_seconds
+        rows.append({
+            "query": query.name,
+            "row_seconds": runtime_or_ot(row_seconds, row_result.timed_out),
+            "vectorized_seconds": runtime_or_ot(vec_seconds, vec_result.timed_out),
+            "speedup": (row_seconds / vec_seconds
+                        if vec_seconds > 0 and not (row_result.timed_out or vec_result.timed_out)
+                        else None),
+            "rows_match": row_result.rows == vec_result.rows,
+            "work": row_result.metrics.total_work,
+        })
     return rows
 
 

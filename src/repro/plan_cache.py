@@ -1,0 +1,140 @@
+"""LRU plan cache for the :class:`~repro.api.GOpt` facade.
+
+Repeated parameterized queries dominate production traffic; parsing and
+optimizing them anew on every call wastes the whole optimizer budget on work
+whose outcome never changes.  :class:`PlanCache` memoizes finished
+:class:`~repro.optimizer.planner.OptimizationReport` objects under a key
+built from:
+
+* the *normalized* query text (whitespace collapsed, so formatting or
+  indentation differences still hit);
+* the query language;
+* the full parameter signature -- names, **types** and values.  The Cypher
+  front-end inlines ``$param`` values as literals before parsing, so two
+  calls only share a plan when their parameters are interchangeable.  Types
+  are part of the signature explicitly: ``1``, ``1.0`` and ``True`` compare
+  (and hash) equal in Python but parse into different literals, so they must
+  never collide;
+* an environment fingerprint (backend, engine, graph size, optimizer
+  config), so mutating the graph or reconfiguring the optimizer bypasses
+  stale entries instead of serving plans built for a different world.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, NamedTuple, Optional, Tuple
+
+
+class PlanCacheInfo(NamedTuple):
+    """Hit/miss accounting exposed via ``GOpt.cache_info()``."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+    evictions: int
+
+
+def freeze_value(value) -> Tuple[str, object]:
+    """A hashable ``(type_name, frozen_value)`` fingerprint of a parameter.
+
+    The type name keeps cross-type hash-equal values (``1`` / ``1.0`` /
+    ``True``) from colliding; containers are frozen recursively.
+    """
+    type_name = type(value).__name__
+    if isinstance(value, (list, tuple)):
+        return (type_name, tuple(freeze_value(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return (type_name, tuple(sorted((freeze_value(item) for item in value),
+                                        key=repr)))
+    if isinstance(value, dict):
+        return (type_name, tuple(sorted((key, freeze_value(item))
+                                        for key, item in value.items())))
+    return (type_name, value)
+
+
+def parameter_signature(parameters: Optional[Dict[str, object]]) -> Tuple:
+    """Order-insensitive signature of a parameter dict (names, types, values)."""
+    if not parameters:
+        return ()
+    return tuple(sorted((name, freeze_value(value))
+                        for name, value in parameters.items()))
+
+
+def normalize_query_text(query: str) -> str:
+    """Collapse whitespace runs *outside string literals* so formatting
+    differences share a key.
+
+    Quoted spans are kept verbatim: ``name = "A  B"`` and ``name = "A B"``
+    are different queries and must never share a cache entry.  Neither
+    front-end tokenizer supports escape sequences, so a literal simply runs
+    to the next matching quote.
+    """
+    out = []
+    i, n = 0, len(query)
+    while i < n:
+        ch = query[i]
+        if ch in "'\"":
+            end = query.find(ch, i + 1)
+            end = n - 1 if end == -1 else end
+            out.append(query[i:end + 1])
+            i = end + 1
+        elif ch.isspace():
+            while i < n and query[i].isspace():
+                i += 1
+            out.append(" ")
+        else:
+            start = i
+            while i < n and not query[i].isspace() and query[i] not in "'\"":
+                i += 1
+            out.append(query[start:i])
+    return "".join(out).strip()
+
+
+class PlanCache:
+    """A bounded LRU mapping cache keys to optimization reports."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Tuple):
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: Tuple, report) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = report
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def info(self) -> PlanCacheInfo:
+        return PlanCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._entries),
+            capacity=self.capacity,
+            evictions=self._evictions,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,79 @@
+"""Unit tests for the columnar binding-table primitives."""
+
+import pytest
+
+from repro.backend.runtime.binding import VRef
+from repro.backend.runtime.columnar import (
+    MISSING,
+    ColumnBatch,
+    OverlayBinding,
+    RowCursor,
+)
+
+
+class TestColumnBatch:
+    def test_from_rows_round_trip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2}, {"b": "y", "c": VRef(7)}]
+        batch = ColumnBatch.from_rows(rows)
+        assert batch.num_rows == 3
+        assert set(batch.columns) == {"a", "b", "c"}
+        assert batch.to_rows() == rows
+
+    def test_missing_cells_are_dropped_not_none(self):
+        batch = ColumnBatch.from_rows([{"a": None}, {}])
+        assert batch.to_rows() == [{"a": None}, {}]
+        assert batch.columns["a"] == [None, MISSING]
+
+    def test_cell_count_matches_row_widths(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}, {}]
+        batch = ColumnBatch.from_rows(rows)
+        assert batch.cell_count() == sum(len(row) for row in rows)
+
+    def test_gather_reorders_and_repeats(self):
+        batch = ColumnBatch.from_rows([{"a": 1}, {"a": 2}, {"a": 3}])
+        gathered = batch.gather([2, 0, 0])
+        assert gathered.to_rows() == [{"a": 3}, {"a": 1}, {"a": 1}]
+
+    def test_head_truncates(self):
+        batch = ColumnBatch.from_rows([{"a": i} for i in range(5)])
+        assert batch.head(2).num_rows == 2
+        assert batch.head(9) is batch
+
+    def test_concat_fills_missing(self):
+        left = ColumnBatch.from_rows([{"a": 1}])
+        right = ColumnBatch.from_rows([{"b": 2}])
+        merged = ColumnBatch.concat([left, right])
+        assert merged.to_rows() == [{"a": 1}, {"b": 2}]
+
+    def test_chunk_bounds_cover_all_rows(self):
+        batch = ColumnBatch.from_rows([{"a": i} for i in range(10)])
+        chunks = list(batch.chunk_bounds(4))
+        assert [list(c) for c in chunks] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnBatch({"a": [1, 2], "b": [1]})
+
+
+class TestCursors:
+    def test_cursor_reads_position_and_hides_missing(self):
+        batch = ColumnBatch.from_rows([{"a": 1}, {"b": 2}])
+        cursor = batch.cursor()
+        assert cursor.get("a") == 1
+        assert cursor.get("b") is None
+        cursor.index = 1
+        assert cursor.get("a") is None
+        assert cursor.get("b") == 2
+        assert cursor.as_dict() == {"b": 2}
+
+    def test_overlay_prefers_extra(self):
+        batch = ColumnBatch.from_rows([{"a": 1}])
+        overlay = OverlayBinding(batch.cursor(), {"a": 99, "x": 7})
+        assert overlay.get("a") == 99
+        assert overlay.get("x") == 7
+        assert overlay.get("missing", "dflt") == "dflt"
+
+    def test_overlay_without_base(self):
+        overlay = OverlayBinding(None, {"t": 3})
+        assert overlay.get("t") == 3
+        assert overlay.get("u") is None

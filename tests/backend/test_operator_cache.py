@@ -1,0 +1,115 @@
+"""Regression tests for the per-execution operator result cache.
+
+Operator results are memoized by ``id(op)`` inside :class:`ExecutionContext`
+so a subtree shared between two branches (ComSubPattern) executes once.  Two
+hazards are locked down here:
+
+* the cache must be scoped to ONE execution -- two plans executed on the same
+  backend instance must never cross-pollinate cached subtree results, even if
+  CPython recycles an operator's ``id()`` between executions;
+* within one context, a cache entry must pin its operator object so a
+  garbage-collected operator can never alias a live operator's slot.
+"""
+
+import gc
+
+from repro.backend import GraphScopeLikeBackend
+from repro.backend.runtime.context import ExecutionContext
+from repro.gir.operators import AggregateCall, AggregateFunction
+from repro.graph.types import Direction, TypeConstraint
+from repro.optimizer.physical_plan import (
+    Aggregate,
+    ExpandEdge,
+    PhysicalPlan,
+    ScanVertex,
+)
+
+
+def _count_plan(vertex_type: str) -> PhysicalPlan:
+    scan = ScanVertex(tag="a", constraint=TypeConstraint.basic(vertex_type))
+    count = Aggregate(
+        keys=(),
+        aggregations=(AggregateCall(AggregateFunction.COUNT, None, "cnt"),),
+        inputs=(scan,),
+    )
+    return PhysicalPlan(count)
+
+
+def _expand_plan(vertex_type: str, edge_type: str) -> PhysicalPlan:
+    scan = ScanVertex(tag="a", constraint=TypeConstraint.basic(vertex_type))
+    expand = ExpandEdge(
+        anchor_tag="a", edge_tag="e", target_tag="b",
+        direction=Direction.OUT,
+        edge_constraint=TypeConstraint.basic(edge_type),
+        target_constraint=TypeConstraint.all_types(),
+        inputs=(scan,),
+    )
+    count = Aggregate(
+        keys=(),
+        aggregations=(AggregateCall(AggregateFunction.COUNT, None, "cnt"),),
+        inputs=(expand,),
+    )
+    return PhysicalPlan(count)
+
+
+class TestCrossExecutionIsolation:
+    def test_two_plans_on_one_backend_do_not_share_results(self, social_graph):
+        """Alternate two different plans many times on one backend; each run
+        must recompute from its own operators.  Plans are rebuilt (and the old
+        ones released) every iteration so CPython gets every chance to recycle
+        operator ids -- a cache keyed on a stale id would surface here as the
+        wrong vertex count."""
+        backend = GraphScopeLikeBackend(social_graph, num_partitions=2)
+        person_count = social_graph.vertex_count("Person")
+        product_count = social_graph.vertex_count("Product")
+        assert person_count != product_count
+        for engine in ("row", "vectorized"):
+            for _ in range(10):
+                plan_a = _count_plan("Person")
+                plan_b = _count_plan("Product")
+                assert backend.execute(plan_a, engine=engine).rows[0]["cnt"] == person_count
+                assert backend.execute(plan_b, engine=engine).rows[0]["cnt"] == product_count
+                del plan_a, plan_b
+                gc.collect()
+
+    def test_interleaved_expand_plans_stay_isolated(self, social_graph):
+        backend = GraphScopeLikeBackend(social_graph, num_partitions=2)
+        knows = _expand_plan("Person", "Knows")
+        expected_knows = backend.execute(knows).rows[0]["cnt"]
+        for _ in range(5):
+            purchases = _expand_plan("Person", "Purchases")
+            backend.execute(purchases)
+            del purchases
+            gc.collect()
+            assert backend.execute(knows).rows[0]["cnt"] == expected_knows
+
+
+class TestWithinExecutionCache:
+    def test_cache_entry_pins_operator_object(self, social_graph):
+        """cache_result stores the operator alongside its rows, so an id()
+        recycled after garbage collection cannot alias the cached slot."""
+        ctx = ExecutionContext(social_graph)
+        op = ScanVertex(tag="a", constraint=TypeConstraint.basic("Person"))
+        op_id = id(op)
+        ctx.cache_result(op_id, ["sentinel"], op)
+        del op
+        gc.collect()
+        # the pinned operator keeps the id alive: a new operator can never
+        # reuse it while the entry exists
+        entry_op, rows = ctx._operator_cache[op_id]
+        assert rows == ["sentinel"]
+        assert id(entry_op) == op_id
+
+    def test_shared_subtree_executes_once(self, social_graph):
+        """The memoization it exists for: a subtree referenced twice in one
+        plan (ComSubPattern) runs once per execution."""
+        scan = ScanVertex(tag="a", constraint=TypeConstraint.basic("Person"))
+        from repro.optimizer.physical_plan import Union
+
+        union = Union(distinct=False, inputs=(scan, scan))
+        backend = GraphScopeLikeBackend(social_graph, num_partitions=2)
+        for engine in ("row", "vectorized"):
+            result = backend.execute(PhysicalPlan(union), engine=engine)
+            # one Union + one Scan: the second reference is served from cache
+            assert result.metrics.operators_executed == 2
+            assert len(result.rows) == 2 * social_graph.vertex_count("Person")

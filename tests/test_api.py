@@ -68,6 +68,28 @@ class TestFacade:
         with pytest.raises(GOptError):
             GOpt.for_graph(social_graph, backend="mystery")
 
+    def test_vectorized_engine_selection(self, social_graph):
+        gopt = GOpt.for_graph(social_graph, backend="graphscope", num_partitions=2,
+                              engine="vectorized")
+        assert gopt.engine == "vectorized"
+        result = gopt.execute_cypher("MATCH (p:Person) RETURN count(p) AS c")
+        assert result.rows[0]["c"] == social_graph.vertex_count("Person")
+
+    def test_engine_can_be_switched_at_runtime(self, social_graph):
+        gopt = GOpt.for_graph(social_graph, backend="neo4j")
+        assert gopt.engine == "row"
+        row_rows = gopt.execute_cypher("MATCH (p:Person) RETURN p.name AS n").rows
+        gopt.engine = "vectorized"
+        vec_rows = gopt.execute_cypher("MATCH (p:Person) RETURN p.name AS n").rows
+        assert row_rows == vec_rows
+
+    def test_unknown_engine_rejected(self, social_graph):
+        with pytest.raises(ValueError):
+            GOpt.for_graph(social_graph, backend="neo4j", engine="turbo")
+        gopt = GOpt.for_graph(social_graph, backend="neo4j")
+        with pytest.raises(GOptError):
+            gopt.engine = "turbo"
+
     def test_unknown_language_rejected(self, gopt):
         with pytest.raises(GOptError):
             gopt.parse("MATCH (a) RETURN a", language="sparql")

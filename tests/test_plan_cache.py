@@ -1,0 +1,190 @@
+"""Unit tests for the GOpt LRU plan cache."""
+
+import pytest
+
+from repro import GOpt
+from repro.optimizer.planner import OptimizerConfig
+from repro.plan_cache import (
+    PlanCache,
+    freeze_value,
+    normalize_query_text,
+    parameter_signature,
+)
+
+QUERY = "MATCH (p:Person) WHERE p.id IN $ids RETURN p.name AS name"
+
+
+@pytest.fixture()
+def gopt(social_graph):
+    return GOpt.for_graph(social_graph, backend="graphscope", num_partitions=2,
+                          plan_cache_size=4)
+
+
+class TestHitMissAccounting:
+    def test_repeat_query_hits(self, gopt):
+        gopt.execute_cypher("MATCH (p:Person) RETURN count(p) AS c")
+        info = gopt.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 1, 1)
+        gopt.execute_cypher("MATCH (p:Person) RETURN count(p) AS c")
+        info = gopt.cache_info()
+        assert (info.hits, info.misses, info.size) == (1, 1, 1)
+
+    def test_whitespace_normalization_shares_entry(self, gopt):
+        gopt.optimize("MATCH (p:Person) RETURN count(p) AS c")
+        gopt.optimize("MATCH   (p:Person)\n   RETURN count(p)   AS c")
+        info = gopt.cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+
+    def test_language_is_part_of_the_key(self, gopt):
+        gopt.optimize("g.V().hasLabel('Person').count()", language="gremlin")
+        gopt.optimize("g.V().hasLabel('Person').count()", language="gremlin")
+        assert gopt.cache_info().hits == 1
+
+    def test_logical_plan_inputs_bypass_the_cache(self, gopt):
+        plan = gopt.parse("MATCH (p:Person) RETURN count(p) AS c")
+        gopt.optimize(plan)
+        gopt.optimize(plan)
+        info = gopt.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+    def test_cache_can_be_disabled(self, social_graph):
+        gopt = GOpt.for_graph(social_graph, backend="neo4j", plan_cache_size=None)
+        gopt.execute_cypher("MATCH (p:Person) RETURN count(p) AS c")
+        gopt.execute_cypher("MATCH (p:Person) RETURN count(p) AS c")
+        info = gopt.cache_info()
+        assert (info.hits, info.misses, info.capacity) == (0, 0, 0)
+
+    def test_clear_resets_counts(self, gopt):
+        gopt.optimize("MATCH (p:Person) RETURN count(p) AS c")
+        gopt.clear_plan_cache()
+        info = gopt.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+    def test_cached_report_still_executes_with_current_values(self, gopt):
+        first = gopt.execute_cypher(QUERY, parameters={"ids": [0, 1, 2]})
+        second = gopt.execute_cypher(QUERY, parameters={"ids": [0, 1, 2]})
+        assert gopt.cache_info().hits == 1
+        assert first.rows == second.rows
+        assert len(second.rows) == 3
+
+
+class TestParameterSignatureIsolation:
+    def test_different_values_do_not_collide(self, gopt):
+        a = gopt.execute_cypher(QUERY, parameters={"ids": [0, 1]})
+        b = gopt.execute_cypher(QUERY, parameters={"ids": [0, 1, 2, 3]})
+        assert gopt.cache_info().hits == 0
+        assert len(a.rows) == 2 and len(b.rows) == 4
+
+    def test_same_text_different_param_types_do_not_collide(self, gopt):
+        # 1 and 1.0 and True are ==/hash-equal in Python but are different
+        # literals once inlined; the signature must keep them apart
+        query = "MATCH (p:Person) WHERE p.id = $x RETURN count(p) AS c"
+        gopt.optimize(query, parameters={"x": 1})
+        gopt.optimize(query, parameters={"x": 1.0})
+        gopt.optimize(query, parameters={"x": True})
+        info = gopt.cache_info()
+        assert (info.hits, info.misses) == (0, 3)
+        # repeating each now hits its own entry
+        gopt.optimize(query, parameters={"x": 1})
+        gopt.optimize(query, parameters={"x": 1.0})
+        assert gopt.cache_info().hits == 2
+
+    def test_signature_is_order_insensitive(self):
+        assert parameter_signature({"a": 1, "b": 2}) == parameter_signature({"b": 2, "a": 1})
+
+    def test_freeze_value_distinguishes_types(self):
+        assert freeze_value(1) != freeze_value(1.0)
+        assert freeze_value(1) != freeze_value(True)
+        assert freeze_value([1, 2]) != freeze_value((1, 2))
+        assert freeze_value({1, 2}) == freeze_value({2, 1})
+
+    def test_normalize_query_text(self):
+        assert normalize_query_text(" MATCH  (a)\n RETURN a ") == "MATCH (a) RETURN a"
+
+    def test_normalization_preserves_string_literals(self):
+        # whitespace inside quotes is significant; collapsing it would make
+        # different queries collide on one cache entry
+        a = normalize_query_text('MATCH (p) WHERE p.name = "A  B" RETURN p')
+        b = normalize_query_text('MATCH (p) WHERE p.name = "A B" RETURN p')
+        assert a != b
+        assert '"A  B"' in a
+        assert normalize_query_text("WHERE x = 'a\n b'") == "WHERE x = 'a\n b'"
+        # unterminated literal: kept verbatim to the end, no crash
+        assert normalize_query_text('RETURN "dangling  text').endswith('"dangling  text')
+
+    def test_queries_differing_only_inside_literals_do_not_collide(self, gopt):
+        template = 'MATCH (p:Person) WHERE p.name = %s RETURN count(p) AS c'
+        gopt.optimize(template % '"Ada  0"')
+        gopt.optimize(template % '"Ada 0"')
+        info = gopt.cache_info()
+        assert (info.hits, info.misses) == (0, 2)
+
+
+class TestEvictionOrder:
+    def test_lru_evicts_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("q1",), "r1")
+        cache.put(("q2",), "r2")
+        assert cache.get(("q1",)) == "r1"   # refresh q1
+        cache.put(("q3",), "r3")            # evicts q2, the LRU entry
+        assert cache.get(("q2",)) is None
+        assert cache.get(("q1",)) == "r1"
+        assert cache.get(("q3",)) == "r3"
+        assert cache.info().evictions == 1
+
+    def test_capacity_enforced_via_facade(self, gopt):
+        for index in range(6):
+            gopt.optimize("MATCH (p:Person) RETURN count(p) AS c%d" % index)
+        info = gopt.cache_info()
+        assert info.size == 4
+        assert info.evictions == 2
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("q",), "old")
+        cache.put(("q",), "new")
+        assert cache.get(("q",)) == "new"
+        assert cache.info().size == 1
+        assert cache.info().evictions == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestEnvironmentBypass:
+    def test_graph_mutation_bypasses_stale_entries(self):
+        from repro.datasets import social_commerce_graph
+
+        # private graph: the shared fixture must not be mutated
+        graph = social_commerce_graph(num_persons=20, num_products=5,
+                                      num_places=3, seed=11)
+        gopt = GOpt.for_graph(graph, backend="neo4j")
+        query = "MATCH (p:Person) RETURN count(p) AS c"
+        before = gopt.execute_cypher(query).rows[0]["c"]
+        gopt.execute_cypher(query)
+        assert gopt.cache_info().hits == 1
+        graph.add_vertex("Person", {"id": 10_000, "name": "new"})
+        after = gopt.execute_cypher(query).rows[0]["c"]
+        assert after == before + 1          # fresh plan, fresh environment key
+        assert gopt.cache_info().hits == 1  # no stale hit
+
+    def test_engine_flip_bypasses(self, gopt):
+        query = "MATCH (p:Person) RETURN count(p) AS c"
+        gopt.optimize(query)
+        gopt.engine = "vectorized"
+        gopt.optimize(query)
+        info = gopt.cache_info()
+        assert (info.hits, info.misses) == (0, 2)
+
+    def test_config_change_bypasses(self, social_graph):
+        gopt = GOpt.for_graph(social_graph, backend="neo4j")
+        query = "MATCH (p:Person)-[:Knows]->(f:Person) RETURN count(f) AS c"
+        gopt.optimize(query)
+        from repro.optimizer.planner import GOptimizer
+        gopt.optimizer = GOptimizer.for_graph(
+            social_graph, profile=gopt.backend.profile(),
+            config=OptimizerConfig(enable_cbo=False))
+        gopt.optimize(query)
+        info = gopt.cache_info()
+        assert (info.hits, info.misses) == (0, 2)
