@@ -1,0 +1,33 @@
+"""Concurrent-serving stress benchmark: N clients over one GraphService.
+
+Fans a parameterized cypher/gremlin workload over a thread pool of sessions
+with per-query deadlines (the production serving pattern), asserting inside
+the benchmark that the concurrent run returns exactly the serial run's rows
+and that prepared/parameterized plans collapse to one cache entry per
+template.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.experiments import SERVING_TEMPLATES, concurrent_serving_experiment
+
+from bench_utils import run_once
+
+
+@pytest.mark.slow
+def test_bench_concurrent_serving(benchmark, g30):
+    graph, glogue = g30
+    rows = run_once(
+        benchmark, concurrent_serving_experiment, graph,
+        num_clients=8, requests_per_client=25, glogue=glogue)
+    print()
+    print(format_table(rows, title="Concurrent serving: 8 clients, mixed workload"))
+    for row in rows:
+        assert row["errors"] == 0
+        assert row["timeouts"] == 0
+        assert row["rows_match"] is True
+        # type-keyed prepared plans: entries stay bounded by the template
+        # count no matter how many distinct parameter values were served
+        assert row["cache_entries"] <= len(SERVING_TEMPLATES)
+        assert row["cache_hit_rate"] > 0.9

@@ -1,15 +1,20 @@
-"""Quickstart: optimize and execute a complex graph pattern (CGP) with GOpt.
+"""Quickstart: serve complex graph patterns (CGPs) through the session API.
 
 The example mirrors the paper's running query (Fig. 3): find pairs of entities
 both reachable from the same vertex and located in a place named "China",
-count occurrences per middle vertex, and return the top 10.
+count occurrences per middle vertex, and return the top 10 -- then shows the
+three serving primitives production code uses:
+
+* ``GraphService`` + ``Session``   -- prepare -> run -> stream;
+* ``PreparedQuery``                -- one plan, many parameter values;
+* ``ResultCursor``                 -- lazy rows, early exit, metrics.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import GOpt
+from repro import GraphService
 from repro.datasets import social_commerce_graph
 
 
@@ -23,34 +28,53 @@ ORDER BY cnt DESC
 LIMIT 10
 """
 
+FRIENDS_TEMPLATE = """
+MATCH (p:Person)-[:Knows]->(f:Person)
+WHERE p.id IN $ids
+RETURN f.name AS friend
+"""
+
 
 def main() -> None:
     graph = social_commerce_graph(num_persons=200, num_products=60, num_places=12, seed=7)
     print("data graph:", graph)
 
-    gopt = GOpt.for_graph(graph, backend="graphscope", num_partitions=4)
+    # one long-lived service per graph; cheap sessions per client/unit of work
+    service = GraphService(graph, backend="graphscope", num_partitions=4)
 
-    print("\n--- optimized plan -------------------------------------------------")
-    print(gopt.explain(RUNNING_EXAMPLE))
+    with service.session() as session:
+        print("\n--- optimized plan -------------------------------------------------")
+        print(session.explain(RUNNING_EXAMPLE))
 
-    print("\n--- results --------------------------------------------------------")
-    outcome = gopt.execute_cypher(RUNNING_EXAMPLE)
-    for row in gopt.render_rows(outcome, limit=10):
-        print(row)
+        print("\n--- results (streamed) ---------------------------------------------")
+        cursor = session.run(RUNNING_EXAMPLE)
+        for row in cursor:          # rows are produced on demand
+            print({tag: service.backend.render_value(value) for tag, value in row.items()})
+        metrics = cursor.consume()  # work/time actually performed
+        print("\nexecuted in %.4fs, %d intermediate rows, %d edges traversed, "
+              "%d tuples shuffled"
+              % (metrics.elapsed_seconds, metrics.intermediate_results,
+                 metrics.edges_traversed, metrics.tuples_shuffled))
 
-    metrics = outcome.result.metrics
-    print("\nexecuted in %.4fs, %d intermediate rows, %d edges traversed, %d tuples shuffled"
-          % (metrics.elapsed_seconds, metrics.intermediate_results,
-             metrics.edges_traversed, metrics.tuples_shuffled))
+        print("\n--- applied optimizations ------------------------------------------")
+        report = cursor.report
+        print("rules fired:", ", ".join(report.applied_rules) or "(none)")
+        for info in report.pattern_searches:
+            print("pattern plan cost estimate: %.1f (explored %d states)"
+                  % (info.result.cost, info.result.states_explored))
+            if info.type_inference is not None:
+                print("type inference narrowed %d vertices and %d edges"
+                      % (info.type_inference.narrowed_vertices,
+                         info.type_inference.narrowed_edges))
 
-    print("\n--- applied optimizations ------------------------------------------")
-    print("rules fired:", ", ".join(outcome.report.applied_rules) or "(none)")
-    for info in outcome.report.pattern_searches:
-        print("pattern plan cost estimate: %.1f (explored %d states)"
-              % (info.result.cost, info.result.states_explored))
-        if info.type_inference is not None:
-            print("type inference narrowed %d vertices and %d edges"
-                  % (info.type_inference.narrowed_vertices, info.type_inference.narrowed_edges))
+        print("\n--- prepared statement: one plan, many values ----------------------")
+        prepared = session.prepare(FRIENDS_TEMPLATE)
+        for ids in ([0, 1], [42, 43], [7]):
+            friends = prepared.run({"ids": ids}).fetch_all()
+            print("friends of %s: %d rows" % (ids, len(friends)))
+        info = service.cache_info()
+        print("plan cache: %d entries (1 per query template, keyed on parameter "
+              "types, not values), %d hits" % (info.size, info.hits))
 
 
 if __name__ == "__main__":

@@ -14,30 +14,53 @@ paper (SIGMOD 2025 / arXiv 2401.17786):
   branch-and-bound plan search.
 * :mod:`repro.backend` -- two simulated execution backends standing in for
   Neo4j (single machine) and GraphScope (partitioned dataflow).
+* :mod:`repro.service` -- the session-based serving layer: ``GraphService``,
+  sessions, prepared statements, streaming cursors, concurrent execution.
 * :mod:`repro.workloads` -- the paper's query suites (IC, BI, QR, QT, QC, ST).
 * :mod:`repro.bench` -- the experiment harness regenerating every figure.
 
 Quickstart::
 
-    from repro import GOpt
+    from repro import GraphService
     from repro.datasets import social_commerce_graph
 
     graph = social_commerce_graph()
-    gopt = GOpt.for_graph(graph, backend="graphscope")
-    result = gopt.execute_cypher(
-        "MATCH (p:Person)-[:Knows]->(f:Person) RETURN f.name LIMIT 5")
+    service = GraphService(graph, backend="graphscope")
+    with service.session() as session:
+        for row in session.run(
+                "MATCH (p:Person)-[:Knows]->(f:Person) RETURN f.name LIMIT 5"):
+            print(row)
+
+(The legacy one-object facade, ``GOpt``, remains available as a thin shim
+over the service.)
 """
 
 from repro.api import GOpt, OptimizedQuery
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import GraphSchema
 from repro.graph.types import AllType, BasicType, Direction, UnionType
+from repro.service import (
+    ConcurrentExecutor,
+    GraphService,
+    PreparedQuery,
+    QueryOutcome,
+    QueryRequest,
+    ResultCursor,
+    Session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GOpt",
     "OptimizedQuery",
+    "GraphService",
+    "Session",
+    "PreparedQuery",
+    "ResultCursor",
+    "ConcurrentExecutor",
+    "QueryRequest",
+    "QueryOutcome",
     "PropertyGraph",
     "GraphSchema",
     "BasicType",

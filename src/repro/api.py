@@ -1,11 +1,23 @@
 """Top-level facade: parse, optimize and execute CGPs in one object.
 
-:class:`GOpt` wires together the front-ends, the optimizer and a simulated
-backend so that library users (and the examples) can go from query text to
-results in two lines::
+:class:`GOpt` is a thin compatibility shim over the session-based serving
+layer (:mod:`repro.service`): it owns a :class:`~repro.service.GraphService`
+and forwards every call, preserving the original synchronous, materializing
+API so existing examples, tests and benchmarks keep working unchanged::
 
     gopt = GOpt.for_graph(graph, backend="graphscope")
     result = gopt.execute_cypher("MATCH (a:Person)-[:KNOWS]->(b) RETURN b LIMIT 5")
+
+New code should prefer the service API, which adds prepared statements
+(plans cached on parameter *types*, not values), streaming cursors and
+concurrent serving::
+
+    service = GraphService(graph, backend="graphscope")
+    with service.session() as session:
+        prepared = session.prepare(
+            "MATCH (p:Person) WHERE p.id IN $ids RETURN p.name AS name")
+        for row in prepared.run({"ids": [1, 2, 3]}):
+            ...
 
 Two runtime knobs matter for serving traffic:
 
@@ -20,22 +32,16 @@ Two runtime knobs matter for serving traffic:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
-from repro.backend import Backend, GraphScopeLikeBackend, Neo4jLikeBackend
+from repro.backend import Backend
 from repro.backend.base import ENGINES, ExecutionResult
 from repro.errors import GOptError
 from repro.gir.plan import LogicalPlan
 from repro.graph.property_graph import PropertyGraph
-from repro.lang.cypher import cypher_to_gir
-from repro.lang.gremlin import gremlin_to_gir
 from repro.optimizer.planner import GOptimizer, OptimizationReport, OptimizerConfig
-from repro.plan_cache import (
-    PlanCache,
-    PlanCacheInfo,
-    normalize_query_text,
-    parameter_signature,
-)
+from repro.plan_cache import PlanCacheInfo
+from repro.service import GraphService
 
 
 @dataclass
@@ -58,7 +64,13 @@ class OptimizedQuery:
 
 
 class GOpt:
-    """Facade bundling a data graph, an optimizer and an execution backend."""
+    """Facade bundling a data graph, an optimizer and an execution backend.
+
+    A compatibility wrapper over :class:`~repro.service.GraphService`: every
+    query is optimized through the service's shared plan cache (values
+    inlined, full-signature keyed -- the legacy semantics) and executed
+    eagerly on the service's backend.
+    """
 
     def __init__(
         self,
@@ -69,14 +81,9 @@ class GOpt:
         plan_cache_size: Optional[int] = 128,
         **backend_options,
     ):
-        self.graph = graph
-        self.backend = self._make_backend(backend, graph, backend_options)
-        self.optimizer = optimizer or GOptimizer.for_graph(
-            graph, profile=self.backend.profile(), config=config
-        )
-        self._plan_cache: Optional[PlanCache] = (
-            PlanCache(plan_cache_size) if plan_cache_size else None
-        )
+        self._service = GraphService(
+            graph, backend=backend, config=config, optimizer=optimizer,
+            plan_cache_size=plan_cache_size, **backend_options)
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -91,31 +98,39 @@ class GOpt:
         return cls(graph, backend=backend, config=config,
                    plan_cache_size=plan_cache_size, **backend_options)
 
-    @staticmethod
-    def _make_backend(backend, graph, options) -> Backend:
-        if isinstance(backend, Backend):
-            if options:
-                raise GOptError(
-                    "backend options %s cannot be combined with a Backend instance; "
-                    "configure the instance directly" % (sorted(options),))
-            return backend
-        if backend == "neo4j":
-            return Neo4jLikeBackend(graph, **options)
-        if backend == "graphscope":
-            return GraphScopeLikeBackend(graph, **options)
-        raise GOptError("unknown backend %r (expected 'neo4j' or 'graphscope')" % (backend,))
+    # -- delegated state -------------------------------------------------------
+    @property
+    def service(self) -> GraphService:
+        """The underlying serving layer (sessions, prepared queries, cursors)."""
+        return self._service
+
+    @property
+    def graph(self) -> PropertyGraph:
+        return self._service.graph
+
+    @property
+    def backend(self) -> Backend:
+        return self._service.backend
+
+    @property
+    def optimizer(self) -> GOptimizer:
+        return self._service.optimizer
+
+    @optimizer.setter
+    def optimizer(self, value: GOptimizer) -> None:
+        self._service.optimizer = value
 
     # -- engine selection -------------------------------------------------------
     @property
     def engine(self) -> str:
         """The execution engine the backend interprets plans with."""
-        return self.backend.engine
+        return self._service.backend.engine
 
     @engine.setter
     def engine(self, value: str) -> None:
         if value not in ENGINES:
             raise GOptError("unknown engine %r (expected one of %s)" % (value, list(ENGINES)))
-        self.backend.engine = value
+        self._service.backend.engine = value
 
     # -- parsing ---------------------------------------------------------------------
     def parse(
@@ -125,47 +140,26 @@ class GOpt:
         parameters: Optional[Dict[str, object]] = None,
     ) -> LogicalPlan:
         """Parse query text in the given language into a GIR logical plan."""
-        if language == "cypher":
-            return cypher_to_gir(query, parameters)
-        if language == "gremlin":
-            return gremlin_to_gir(query)
-        raise GOptError("unsupported query language %r" % (language,))
+        return self._service.parse(query, language, parameters)
 
     # -- plan cache -------------------------------------------------------------------
     def cache_info(self) -> PlanCacheInfo:
-        """Hit/miss/size/eviction accounting of the plan cache."""
-        if self._plan_cache is None:
-            return PlanCacheInfo(hits=0, misses=0, size=0, capacity=0, evictions=0)
-        return self._plan_cache.info()
+        """Hit/miss/size/eviction accounting of the plan cache.
+
+        When the facade was created with ``plan_cache_size=None`` (or ``0``)
+        no cache exists and this returns the
+        :meth:`~repro.plan_cache.PlanCacheInfo.disabled` sentinel -- all
+        zeros with ``capacity=0``, the documented "caching disabled"
+        discriminator (a live cache always has ``capacity >= 1``).
+        """
+        return self._service.cache_info()
 
     def clear_plan_cache(self) -> None:
-        if self._plan_cache is not None:
-            self._plan_cache.clear()
+        """Drop every cached plan and reset hit/miss accounting.
 
-    def _environment_token(self) -> Tuple:
-        """Fingerprint of everything a cached plan depends on besides the query.
-
-        If the data graph grows/shrinks, the backend engine flips, or the
-        optimizer is reconfigured, the token changes and stale entries are
-        bypassed (they age out of the LRU naturally).
+        A no-op when the cache is disabled (``cache_info().capacity == 0``).
         """
-        return (
-            self.backend.name,
-            self.backend.engine,
-            self.graph.num_vertices,
-            self.graph.num_edges,
-            repr(self.optimizer.config),
-        )
-
-    def _cache_key(
-        self, query: str, language: str, parameters: Optional[Dict[str, object]]
-    ) -> Tuple:
-        return (
-            normalize_query_text(query),
-            language,
-            parameter_signature(parameters),
-            self._environment_token(),
-        )
+        self._service.clear_plan_cache()
 
     # -- optimization / execution ----------------------------------------------------
     def optimize(
@@ -180,16 +174,7 @@ class GOpt:
         (text, language, parameters, environment) combination was optimized
         before; logical-plan inputs always optimize fresh.
         """
-        if isinstance(query, LogicalPlan):
-            return self.optimizer.optimize(query)
-        if self._plan_cache is None:
-            return self.optimizer.optimize(self.parse(query, language, parameters))
-        key = self._cache_key(query, language, parameters)
-        report = self._plan_cache.get(key)
-        if report is None:
-            report = self.optimizer.optimize(self.parse(query, language, parameters))
-            self._plan_cache.put(key, report)
-        return report
+        return self._service.optimize(query, language, parameters)
 
     def execute(
         self,
@@ -198,8 +183,8 @@ class GOpt:
         parameters: Optional[Dict[str, object]] = None,
     ) -> OptimizedQuery:
         """Optimize and execute a query on the configured backend."""
-        report = self.optimize(query, language, parameters)
-        result = self.backend.execute(report.physical_plan)
+        report = self._service.optimize(query, language, parameters)
+        result = self._service.backend.execute(report.physical_plan)
         return OptimizedQuery(report=report, result=result)
 
     def execute_cypher(self, query: str, parameters: Optional[Dict[str, object]] = None) -> OptimizedQuery:
@@ -221,4 +206,4 @@ class GOpt:
         """Human-friendly rendering of result rows (resolving graph references)."""
         if optimized.result is None:
             return []
-        return self.backend.render_rows(optimized.result, limit)
+        return self._service.backend.render_rows(optimized.result, limit)

@@ -16,7 +16,12 @@ result / time budget so pathological plans surface as "OT" exactly like the
 paper's over-time markers.
 """
 
-from repro.backend.base import Backend, ExecutionMetrics, ExecutionResult
+from repro.backend.base import (
+    Backend,
+    ExecutionMetrics,
+    ExecutionResult,
+    StreamingResult,
+)
 from repro.backend.graphscope_like import GraphScopeLikeBackend
 from repro.backend.neo4j_like import Neo4jLikeBackend
 
@@ -24,6 +29,7 @@ __all__ = [
     "Backend",
     "ExecutionResult",
     "ExecutionMetrics",
+    "StreamingResult",
     "Neo4jLikeBackend",
     "GraphScopeLikeBackend",
 ]

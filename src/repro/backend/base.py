@@ -1,20 +1,25 @@
-"""Backend base class and execution results."""
+"""Backend base class, execution results and the streaming execution handle."""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.backend.runtime.binding import ERef, PRef, VRef
 from repro.backend.runtime.context import ExecutionContext
 from repro.backend.runtime.operators import execute_operator
+from repro.backend.runtime.streaming import stream_result_rows
 from repro.backend.runtime.vectorized import execute_vectorized
 from repro.errors import ExecutionTimeout
 from repro.graph.partition import GraphPartitioner
 from repro.graph.property_graph import PropertyGraph
 from repro.optimizer.physical_plan import PhysicalPlan
 from repro.optimizer.physical_spec import BackendProfile
+
+#: sentinel distinguishing "not overridden" from an explicit ``None`` override
+#: (``None`` is a meaningful value for the time and intermediate budgets)
+_UNSET = object()
 
 
 @dataclass
@@ -71,6 +76,72 @@ class ExecutionResult:
         return [tuple(row.get(col) for col in columns) for row in self.rows]
 
 
+class StreamingResult:
+    """A lazily produced plan execution: an iterator of rows plus metrics.
+
+    Wraps the streaming interpreter's row generator together with its
+    execution context.  Iteration pulls rows on demand; :meth:`close` stops
+    the execution early (upstream operators never produce the remainder);
+    :meth:`metrics` reports the work actually performed so far.  A budget
+    overrun (:class:`~repro.errors.ExecutionTimeout`) ends the stream and
+    flags ``timed_out`` instead of raising, mirroring ``Backend.execute``.
+    """
+
+    def __init__(self, ctx: ExecutionContext, rows: Iterator[dict], backend: str = ""):
+        self._ctx = ctx
+        self._rows = rows
+        self.backend = backend
+        self.timed_out = False
+        self._finished = False
+        self._elapsed: Optional[float] = None
+
+    def __iter__(self) -> "StreamingResult":
+        return self
+
+    def __next__(self) -> dict:
+        if self._finished:
+            raise StopIteration
+        try:
+            return next(self._rows)
+        except StopIteration:
+            self._finish()
+            raise
+        except ExecutionTimeout:
+            self.timed_out = True
+            self._finish()
+            raise StopIteration from None
+
+    def close(self) -> None:
+        """Stop the execution; rows not yet pulled are never produced."""
+        if not self._finished:
+            self._rows.close()
+            self._finish()
+
+    def _finish(self) -> None:
+        self._finished = True
+        if self._elapsed is None:
+            self._elapsed = self._ctx.elapsed
+
+    @property
+    def exhausted(self) -> bool:
+        return self._finished
+
+    def metrics(self) -> ExecutionMetrics:
+        """Work and time measurements of the execution *so far*."""
+        counters = self._ctx.counters
+        elapsed = self._elapsed if self._elapsed is not None else self._ctx.elapsed
+        return ExecutionMetrics(
+            elapsed_seconds=elapsed,
+            intermediate_results=counters.intermediate_results,
+            edges_traversed=counters.edges_traversed,
+            vertices_scanned=counters.vertices_scanned,
+            tuples_shuffled=counters.tuples_shuffled,
+            operators_executed=counters.operators_executed,
+            cells_produced=counters.cells_produced,
+            timed_out=self.timed_out,
+        )
+
+
 #: execution engines understood by every backend
 ENGINES = ("row", "vectorized")
 
@@ -119,24 +190,60 @@ class Backend:
         """The PhysicalSpec profile this backend registers with the optimizer."""
         raise NotImplementedError
 
-    def execute(self, plan: PhysicalPlan, engine: Optional[str] = None) -> ExecutionResult:
-        """Interpret a physical plan, enforcing the time/intermediate budget.
-
-        ``engine`` overrides the backend's configured engine for this one
-        execution (used by the differential tests and benchmarks).  Plans
-        exceeding the budget return an empty result flagged ``timed_out``
-        (the harness reports them as OT, like the paper).
-        """
+    def _resolve_engine(self, engine: Optional[str]) -> str:
         engine = engine or self.engine
         if engine not in ENGINES:
             raise ValueError("unknown engine %r (expected one of %s)" % (engine, list(ENGINES)))
-        ctx = ExecutionContext(
+        return engine
+
+    def _make_context(
+        self,
+        parameters: Optional[Dict[str, object]] = None,
+        timeout_seconds=_UNSET,
+        max_intermediate_results=_UNSET,
+        batch_size: Optional[int] = None,
+    ) -> ExecutionContext:
+        """A fresh execution context, applying per-call budget overrides.
+
+        The overrides exist for the session layer: sessions of one shared
+        backend run with their own engine/timeout/budget/batch size without
+        mutating the backend (which would race under concurrent serving).
+        """
+        return ExecutionContext(
             self.graph,
             partitioner=self._partitioner(),
-            max_intermediate_results=self.max_intermediate_results,
-            timeout_seconds=self.timeout_seconds,
-            batch_size=self.batch_size,
+            max_intermediate_results=(self.max_intermediate_results
+                                      if max_intermediate_results is _UNSET
+                                      else max_intermediate_results),
+            timeout_seconds=(self.timeout_seconds if timeout_seconds is _UNSET
+                             else timeout_seconds),
+            batch_size=batch_size if batch_size is not None else self.batch_size,
+            parameters=parameters,
         )
+
+    def execute(
+        self,
+        plan: PhysicalPlan,
+        engine: Optional[str] = None,
+        parameters: Optional[Dict[str, object]] = None,
+        timeout_seconds=_UNSET,
+        max_intermediate_results=_UNSET,
+        batch_size: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Interpret a physical plan, enforcing the time/intermediate budget.
+
+        ``engine`` overrides the backend's configured engine for this one
+        execution (used by the differential tests and benchmarks); the other
+        keyword arguments override the corresponding backend budgets for this
+        one execution without mutating shared backend state (used by the
+        session layer).  ``parameters`` binds values for deferred ``$param``
+        placeholders in prepared plans.  Plans exceeding the budget return an
+        empty result flagged ``timed_out`` (the harness reports them as OT,
+        like the paper).
+        """
+        engine = self._resolve_engine(engine)
+        ctx = self._make_context(parameters, timeout_seconds,
+                                 max_intermediate_results, batch_size)
         start = time.perf_counter()
         timed_out = False
         rows: List[dict] = []
@@ -160,6 +267,29 @@ class Backend:
             timed_out=timed_out,
         )
         return ExecutionResult(rows=rows, metrics=metrics, backend=self.name)
+
+    def execute_streaming(
+        self,
+        plan: PhysicalPlan,
+        engine: Optional[str] = None,
+        parameters: Optional[Dict[str, object]] = None,
+        timeout_seconds=_UNSET,
+        max_intermediate_results=_UNSET,
+        batch_size: Optional[int] = None,
+    ) -> "StreamingResult":
+        """Begin a lazy plan execution, returning a :class:`StreamingResult`.
+
+        Rows are produced on demand by the streaming interpreters
+        (:mod:`repro.backend.runtime.streaming`): a consumer that stops early
+        (``LIMIT``, cursor close) never pays for the rows it does not pull.
+        Work counters and the time/intermediate budget are enforced
+        incrementally as rows are pulled.
+        """
+        engine = self._resolve_engine(engine)
+        ctx = self._make_context(parameters, timeout_seconds,
+                                 max_intermediate_results, batch_size)
+        return StreamingResult(ctx, stream_result_rows(plan.root, ctx, engine),
+                               backend=self.name)
 
     # -- convenience helpers for presenting results ----------------------------------
     def render_value(self, value):

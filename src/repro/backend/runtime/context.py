@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.backend.runtime.binding import ERef, PRef, VRef
-from repro.errors import ExecutionTimeout
+from repro.errors import ExecutionError, ExecutionTimeout
 from repro.gir.expressions import ExpressionEvaluator
 from repro.graph.partition import GraphPartitioner
 from repro.graph.property_graph import PropertyGraph
@@ -45,6 +45,7 @@ class ExecutionContext:
         max_intermediate_results: Optional[int] = None,
         timeout_seconds: Optional[float] = None,
         batch_size: int = 1024,
+        parameters: Optional[Dict[str, object]] = None,
     ):
         self.graph = graph
         self.partitioner = partitioner
@@ -52,6 +53,8 @@ class ExecutionContext:
         self.max_intermediate_results = max_intermediate_results
         self.timeout_seconds = timeout_seconds
         self.batch_size = batch_size
+        # execute-time values for deferred $param placeholders (prepared plans)
+        self.parameters: Dict[str, object] = dict(parameters or {})
         self._start_time = time.perf_counter()
         # keyed by id(op); the operator object is pinned alongside its result
         # so a recycled id() can never alias a different operator's cache slot
@@ -65,6 +68,7 @@ class ExecutionContext:
                 "type": self._fn_type,
                 "labels": self._fn_type,
             },
+            resolve_parameter=self._resolve_parameter,
         )
 
     # -- budgets ---------------------------------------------------------------
@@ -118,6 +122,14 @@ class ExecutionContext:
         self._operator_cache[op_id] = (op, rows)
 
     # -- expression resolution ------------------------------------------------------------
+    def _resolve_parameter(self, name: str):
+        try:
+            return self.parameters[name]
+        except KeyError:
+            raise ExecutionError(
+                "plan references parameter $%s but no value was bound for this "
+                "execution" % (name,)) from None
+
     def _resolve_tag(self, tag: str, binding: dict):
         return binding.get(tag)
 

@@ -1,0 +1,478 @@
+"""Streaming (generator-based) interpreters for physical plans.
+
+Where the materializing interpreters (:mod:`repro.backend.runtime.operators`
+and :mod:`repro.backend.runtime.vectorized`) build every operator's full
+binding table before its parent runs, the streaming interpreters pull results
+through the plan *on demand*:
+
+* :func:`stream_rows` is the row engine's pull pipeline -- each streamable
+  operator is a generator yielding dict rows one at a time;
+* :func:`stream_batches` is the vectorized engine's pull pipeline -- each
+  streamable operator yields :class:`ColumnBatch` chunks whose size follows
+  ``ctx.batch_size``.
+
+Pipeline-breaking operators (Sort, Aggregate, HashJoin, ExpandIntersect,
+PathExpand) inherently need their whole input, so the streaming dispatchers
+delegate those subtrees to the materializing interpreter (which also keeps
+the per-context operator cache working for shared subtrees).  Everything else
+-- Scan, ExpandEdge, ExpandInto, Filter, Project, Limit, Dedup, Union,
+AllDifferent -- streams, which gives two properties the serving layer relies
+on:
+
+* **bounded memory / early exit** -- a ``LIMIT k`` at the top of a streamable
+  chain stops pulling from its input after ``k`` rows, so the full result set
+  is never materialized and the work counters record only the work actually
+  performed;
+* **counter parity on full consumption** -- a fully drained stream charges
+  exactly the counters the materializing engine would have charged for the
+  same plan (minus early-exit savings), which the differential tests enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.backend.runtime.binding import VRef
+from repro.backend.runtime.columnar import ColumnBatch, MISSING
+from repro.backend.runtime.context import ExecutionContext
+from repro.backend.runtime.operators import (
+    Row,
+    _edge_matches,
+    _hashable,
+    _retrieve_properties,
+    _vertex_matches,
+    execute_operator,
+)
+from repro.backend.runtime import vectorized as _vec
+from repro.backend.runtime.vectorized import execute_vectorized
+from repro.gir.expressions import TagRef
+from repro.optimizer.physical_plan import (
+    AllDifferent,
+    Dedup,
+    ExpandEdge,
+    ExpandInto,
+    Filter,
+    Limit,
+    PhysicalOperator,
+    Project,
+    ScanVertex,
+    Union,
+)
+
+
+# -- row-engine streaming ----------------------------------------------------------
+
+
+def stream_rows(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[Row]:
+    """Lazily produce the binding table of ``op`` row by row.
+
+    Streamable operators charge the work counters incrementally (one
+    intermediate result and ``len(row)`` cells per yielded row); pipeline
+    breakers fall back to :func:`execute_operator`, charging in bulk exactly
+    as the materializing engine does.
+    """
+    cached = ctx.cached_result(id(op))
+    if cached is not None:
+        # subtree already materialized in this execution: replay, cost charged
+        yield from cached
+        return
+    handler = _STREAM_HANDLERS.get(type(op))
+    if handler is None:
+        # pipeline breaker: materialize the subtree with the row engine
+        yield from execute_operator(op, ctx)
+        return
+    ctx.counters.operators_executed += 1
+    for row in handler(op, ctx):
+        ctx.charge_intermediate(1)
+        ctx.counters.cells_produced += len(row)
+        yield row
+
+
+def _stream_child(op: PhysicalOperator, ctx: ExecutionContext, index: int = 0) -> Iterator[Row]:
+    return stream_rows(op.inputs[index], ctx)
+
+
+def _stream_scan(op: ScanVertex, ctx: ExecutionContext) -> Iterator[Row]:
+    if op.constraint.is_empty:
+        return
+    for vid in ctx.graph.vertices_of_type(op.constraint):
+        ctx.counters.vertices_scanned += 1
+        if _vertex_matches(ctx, vid, op.constraint, op.predicates, op.tag):
+            _retrieve_properties(ctx, vid, op.columns)
+            yield {op.tag: VRef(vid)}
+
+
+def _stream_expand_edge(op: ExpandEdge, ctx: ExecutionContext) -> Iterator[Row]:
+    from repro.backend.runtime.binding import ERef
+
+    for row in _stream_child(op, ctx):
+        anchor = row.get(op.anchor_tag)
+        if not isinstance(anchor, VRef):
+            continue
+        adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
+        ctx.counters.edges_traversed += len(adjacent)
+        for eid, other in adjacent:
+            if not _vertex_matches(ctx, other, op.target_constraint, op.target_predicates,
+                                   op.target_tag, row):
+                continue
+            if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, row):
+                continue
+            _retrieve_properties(ctx, other, op.target_columns)
+            new_row = dict(row)
+            new_row[op.edge_tag] = ERef(eid)
+            new_row[op.target_tag] = VRef(other)
+            ctx.charge_shuffle_between(anchor.id, other)
+            yield new_row
+        ctx.check_deadline()
+
+
+def _stream_expand_into(op: ExpandInto, ctx: ExecutionContext) -> Iterator[Row]:
+    from repro.backend.runtime.binding import ERef
+
+    for row in _stream_child(op, ctx):
+        anchor = row.get(op.anchor_tag)
+        target = row.get(op.target_tag)
+        if not isinstance(anchor, VRef) or not isinstance(target, VRef):
+            continue
+        adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
+        ctx.counters.edges_traversed += len(adjacent)
+        for eid, other in adjacent:
+            if other != target.id:
+                continue
+            if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, row):
+                continue
+            new_row = dict(row)
+            new_row[op.edge_tag] = ERef(eid)
+            yield new_row
+        ctx.check_deadline()
+
+
+def _stream_filter(op: Filter, ctx: ExecutionContext) -> Iterator[Row]:
+    evaluate = ctx.evaluator.evaluate
+    for row in _stream_child(op, ctx):
+        if evaluate(op.predicate, row):
+            yield row
+
+
+def _stream_project(op: Project, ctx: ExecutionContext) -> Iterator[Row]:
+    evaluate = ctx.evaluator.evaluate
+    if not op.append and all(isinstance(item.expr, TagRef) for item in op.items):
+        mapping = [(item.alias, item.expr.tag) for item in op.items]
+        for row in _stream_child(op, ctx):
+            yield {alias: row.get(tag) for alias, tag in mapping}
+        return
+    for row in _stream_child(op, ctx):
+        values = {item.alias: evaluate(item.expr, row) for item in op.items}
+        if op.append:
+            new_row = dict(row)
+            new_row.update(values)
+        else:
+            new_row = values
+        yield new_row
+
+
+def _stream_limit(op: Limit, ctx: ExecutionContext) -> Iterator[Row]:
+    if op.count <= 0:
+        return
+    produced = 0
+    for row in _stream_child(op, ctx):
+        yield row
+        produced += 1
+        if produced >= op.count:
+            return  # stop pulling: upstream never produces the rest
+
+
+def _stream_dedup(op: Dedup, ctx: ExecutionContext) -> Iterator[Row]:
+    seen = set()
+    for row in _stream_child(op, ctx):
+        if op.tags:
+            key = tuple(row.get(tag) for tag in op.tags)
+        else:
+            key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        yield row
+
+
+def _stream_union(op: Union, ctx: ExecutionContext) -> Iterator[Row]:
+    if not op.distinct:
+        for child in op.inputs:
+            yield from stream_rows(child, ctx)
+        return
+    seen = set()
+    for child in op.inputs:
+        for row in stream_rows(child, ctx):
+            key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+
+def _stream_all_different(op: AllDifferent, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _stream_child(op, ctx):
+        values = [row.get(tag) for tag in op.tags if row.get(tag) is not None]
+        if len(values) == len(set(values)):
+            yield row
+
+
+_STREAM_HANDLERS = {
+    ScanVertex: _stream_scan,
+    ExpandEdge: _stream_expand_edge,
+    ExpandInto: _stream_expand_into,
+    Filter: _stream_filter,
+    Project: _stream_project,
+    Limit: _stream_limit,
+    Dedup: _stream_dedup,
+    Union: _stream_union,
+    AllDifferent: _stream_all_different,
+}
+
+
+# -- vectorized-engine streaming ----------------------------------------------------
+
+
+def stream_batches(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    """Lazily produce the binding table of ``op`` as column batches.
+
+    The streaming twin of :func:`~repro.backend.runtime.vectorized.execute_vectorized`:
+    streamable operators transform one input batch into one output batch and
+    charge counters per emitted batch; pipeline breakers materialize via the
+    vectorized engine and emit their result as a single batch.
+    """
+    cached = ctx.cached_result(id(op))
+    if cached is not None:
+        if cached.num_rows:
+            yield cached
+        return
+    handler = _BATCH_HANDLERS.get(type(op))
+    if handler is None:
+        batch = execute_vectorized(op, ctx)
+        if batch.num_rows:
+            yield batch
+        return
+    ctx.counters.operators_executed += 1
+    for batch in handler(op, ctx):
+        if not batch.num_rows:
+            continue
+        ctx.charge_intermediate(batch.num_rows)
+        ctx.counters.cells_produced += batch.cell_count()
+        yield batch
+
+
+def _batch_child(op: PhysicalOperator, ctx: ExecutionContext, index: int = 0) -> Iterator[ColumnBatch]:
+    return stream_batches(op.inputs[index], ctx)
+
+
+def _batch_scan(op: ScanVertex, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    if op.constraint.is_empty:
+        return
+    refs: List[object] = []
+    flush_at = ctx.batch_size if ctx.batch_size > 0 else 1024
+    for vid in ctx.graph.vertices_of_type(op.constraint):
+        ctx.counters.vertices_scanned += 1
+        if _vertex_matches(ctx, vid, op.constraint, op.predicates, op.tag):
+            _vec._retrieve_properties(ctx, vid, op.columns)
+            refs.append(VRef(vid))
+            if len(refs) >= flush_at:
+                yield ColumnBatch({op.tag: refs}, len(refs))
+                refs = []
+    if refs:
+        yield ColumnBatch({op.tag: refs}, len(refs))
+
+
+def _batch_expand_edge(op: ExpandEdge, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    from repro.backend.runtime.binding import ERef
+
+    for child in _batch_child(op, ctx):
+        anchor_column = child.column(op.anchor_tag)
+        if anchor_column is None:
+            continue
+        cursor = child.cursor()
+        selection: List[int] = []
+        edge_refs: List[object] = []
+        target_refs: List[object] = []
+        for index in range(child.num_rows):
+            anchor = anchor_column[index]
+            if not isinstance(anchor, VRef):
+                continue
+            cursor.index = index
+            adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
+            ctx.counters.edges_traversed += len(adjacent)
+            for eid, other in adjacent:
+                if not _vec._vertex_matches(ctx, other, op.target_constraint,
+                                            op.target_predicates, op.target_tag, cursor):
+                    continue
+                if not _vec._edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, cursor):
+                    continue
+                _vec._retrieve_properties(ctx, other, op.target_columns)
+                ctx.charge_shuffle_between(anchor.id, other)
+                selection.append(index)
+                edge_refs.append(ERef(eid))
+                target_refs.append(VRef(other))
+            ctx.check_deadline()
+        columns = child.gather_columns(selection)
+        columns[op.edge_tag] = edge_refs
+        columns[op.target_tag] = target_refs
+        yield ColumnBatch(columns, len(selection))
+
+
+def _batch_expand_into(op: ExpandInto, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    from repro.backend.runtime.binding import ERef
+
+    for child in _batch_child(op, ctx):
+        anchor_column = child.column(op.anchor_tag)
+        target_column = child.column(op.target_tag)
+        if anchor_column is None or target_column is None:
+            continue
+        cursor = child.cursor()
+        selection: List[int] = []
+        edge_refs: List[object] = []
+        for index in range(child.num_rows):
+            anchor = anchor_column[index]
+            target = target_column[index]
+            if not isinstance(anchor, VRef) or not isinstance(target, VRef):
+                continue
+            cursor.index = index
+            adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
+            ctx.counters.edges_traversed += len(adjacent)
+            for eid, other in adjacent:
+                if other != target.id:
+                    continue
+                if not _vec._edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, cursor):
+                    continue
+                selection.append(index)
+                edge_refs.append(ERef(eid))
+            ctx.check_deadline()
+        columns = child.gather_columns(selection)
+        columns[op.edge_tag] = edge_refs
+        yield ColumnBatch(columns, len(selection))
+
+
+def _batch_filter(op: Filter, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    evaluate = ctx.evaluator.evaluate
+    for child in _batch_child(op, ctx):
+        cursor = child.cursor()
+        selection: List[int] = []
+        for index in range(child.num_rows):
+            cursor.index = index
+            if evaluate(op.predicate, cursor):
+                selection.append(index)
+        yield ColumnBatch(child.gather_columns(selection), len(selection))
+
+
+def _batch_project(op: Project, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    evaluate = ctx.evaluator.evaluate
+    pure_selection = not op.append and all(isinstance(item.expr, TagRef) for item in op.items)
+    for child in _batch_child(op, ctx):
+        if pure_selection:
+            columns: Dict[str, List[object]] = {
+                item.alias: _vec._normalized_column(child, item.expr.tag)
+                for item in op.items
+            }
+            yield ColumnBatch(columns, child.num_rows)
+            continue
+        cursor = child.cursor()
+        computed: Dict[str, List[object]] = {item.alias: [] for item in op.items}
+        for index in range(child.num_rows):
+            cursor.index = index
+            for item in op.items:
+                computed[item.alias].append(evaluate(item.expr, cursor))
+        if op.append:
+            columns = dict(child.columns)
+            columns.update(computed)
+        else:
+            columns = computed
+        yield ColumnBatch(columns, child.num_rows)
+
+
+def _batch_limit(op: Limit, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    remaining = op.count
+    if remaining <= 0:
+        return
+    for child in _batch_child(op, ctx):
+        batch = child.head(remaining)
+        remaining -= batch.num_rows
+        yield batch
+        if remaining <= 0:
+            return  # stop pulling: upstream never produces the rest
+
+
+def _batch_dedup(op: Dedup, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    seen = set()
+    for child in _batch_child(op, ctx):
+        selection: List[int] = []
+        if op.tags:
+            key_columns = [_vec._normalized_column(child, tag) for tag in op.tags]
+            for index in range(child.num_rows):
+                key = tuple(column[index] for column in key_columns)
+                if key not in seen:
+                    seen.add(key)
+                    selection.append(index)
+        else:
+            items = list(child.columns.items())
+            for index in range(child.num_rows):
+                key = _vec._row_key(items, index)
+                if key not in seen:
+                    seen.add(key)
+                    selection.append(index)
+        yield ColumnBatch(child.gather_columns(selection), len(selection))
+
+
+def _batch_union(op: Union, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    if not op.distinct:
+        for child in op.inputs:
+            yield from stream_batches(child, ctx)
+        return
+    seen = set()
+    for child in op.inputs:
+        for batch in stream_batches(child, ctx):
+            selection: List[int] = []
+            items = list(batch.columns.items())
+            for index in range(batch.num_rows):
+                key = _vec._row_key(items, index)
+                if key not in seen:
+                    seen.add(key)
+                    selection.append(index)
+            yield ColumnBatch(batch.gather_columns(selection), len(selection))
+
+
+def _batch_all_different(op: AllDifferent, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    for child in _batch_child(op, ctx):
+        columns = [child.columns.get(tag) for tag in op.tags]
+        selection: List[int] = []
+        for index in range(child.num_rows):
+            values = []
+            for column in columns:
+                if column is None:
+                    continue
+                value = column[index]
+                if value is not MISSING and value is not None:
+                    values.append(value)
+            if len(values) == len(set(values)):
+                selection.append(index)
+        yield ColumnBatch(child.gather_columns(selection), len(selection))
+
+
+_BATCH_HANDLERS = {
+    ScanVertex: _batch_scan,
+    ExpandEdge: _batch_expand_edge,
+    ExpandInto: _batch_expand_into,
+    Filter: _batch_filter,
+    Project: _batch_project,
+    Limit: _batch_limit,
+    Dedup: _batch_dedup,
+    Union: _batch_union,
+    AllDifferent: _batch_all_different,
+}
+
+
+def stream_result_rows(op: PhysicalOperator, ctx: ExecutionContext,
+                       engine: str) -> Iterator[Row]:
+    """Rows of ``op`` as produced by the streaming pipeline of ``engine``."""
+    if engine == "vectorized":
+        for batch in stream_batches(op, ctx):
+            yield from batch.to_rows()
+        return
+    yield from stream_rows(op, ctx)

@@ -43,6 +43,10 @@ class Expr:
                 props.add((node.tag, node.key))
         return props
 
+    def referenced_parameters(self) -> Set[str]:
+        """All deferred ``$param`` names referenced anywhere in the expression."""
+        return {node.name for node in self.walk() if isinstance(node, Parameter)}
+
 
 @dataclass(frozen=True)
 class Literal(Expr):
@@ -73,6 +77,21 @@ class Property(Expr):
 
     def __repr__(self) -> str:
         return "%s.%s" % (self.tag, self.key)
+
+
+@dataclass(frozen=True)
+class Parameter(Expr):
+    """A deferred ``$name`` query parameter, bound to a value at execute time.
+
+    Prepared statements keep parameters symbolic so one optimized plan serves
+    every parameter value; the evaluator resolves the value from the
+    execution's parameter binding (see ``ExecutionContext.parameters``).
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "$%s" % self.name
 
 
 @dataclass(frozen=True)
@@ -172,10 +191,12 @@ class ExpressionEvaluator:
     ``resolve_tag`` callable mapping ``(tag, binding)`` to the bound element.
     """
 
-    def __init__(self, resolve_tag, resolve_property, functions=None):
+    def __init__(self, resolve_tag, resolve_property, functions=None,
+                 resolve_parameter=None):
         self._resolve_tag = resolve_tag
         self._resolve_property = resolve_property
         self._functions = functions or {}
+        self._resolve_parameter = resolve_parameter
 
     def evaluate(self, expr: Expr, binding) -> object:
         if isinstance(expr, Literal):
@@ -184,6 +205,12 @@ class ExpressionEvaluator:
             return self._resolve_tag(expr.tag, binding)
         if isinstance(expr, Property):
             return self._resolve_property(expr.tag, expr.key, binding)
+        if isinstance(expr, Parameter):
+            if self._resolve_parameter is None:
+                raise ValueError(
+                    "expression references parameter $%s but the evaluator has "
+                    "no parameter binding" % (expr.name,))
+            return self._resolve_parameter(expr.name)
         if isinstance(expr, UnaryOp):
             value = self.evaluate(expr.operand, binding)
             if expr.op == "NOT":
@@ -441,6 +468,10 @@ class _ExprParser:
         raise ParseError("unexpected token %r" % (value,), text=self._text)
 
     def _parse_identifier(self, name: str) -> Expr:
+        if name.startswith("$"):
+            if len(name) == 1:
+                raise ParseError("expected a parameter name after '$'", text=self._text)
+            return Parameter(name[1:])
         token = self._tokens.peek()
         if token is not None and token[0] == "(":
             self._tokens.next()

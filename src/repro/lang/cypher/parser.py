@@ -180,9 +180,24 @@ def _quote(value: str) -> str:
     return "'%s'" % value
 
 
-def parse_cypher(query: str, parameters: Optional[Dict[str, object]] = None) -> CypherQuery:
-    """Parse Cypher text (with optional ``$param`` substitution) into an AST."""
-    query = _substitute_parameters(query, parameters)
+def parse_cypher(
+    query: str,
+    parameters: Optional[Dict[str, object]] = None,
+    defer_parameters: bool = False,
+) -> CypherQuery:
+    """Parse Cypher text (with optional ``$param`` substitution) into an AST.
+
+    With ``defer_parameters=True`` the ``$param`` placeholders are *not*
+    inlined: they survive into the expression trees as
+    :class:`~repro.gir.expressions.Parameter` nodes and are resolved from the
+    execution-time parameter binding.  This is how prepared statements share
+    one plan across parameter values.  Parameters in structural positions the
+    grammar needs literal values for (``LIMIT $n``, inline property maps,
+    hop ranges) cannot be deferred and raise :class:`ParseError`; callers
+    fall back to inline substitution for those queries.
+    """
+    if not defer_parameters:
+        query = _substitute_parameters(query, parameters)
     tokens = _tokenize(query)
     cursor = _Cursor(query, tokens)
     parts: List[SingleQuery] = []

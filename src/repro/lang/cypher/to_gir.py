@@ -42,9 +42,18 @@ class _NameGenerator:
         return "_%s%d" % (prefix, self._counts[prefix])
 
 
-def cypher_to_gir(query: str, parameters: Optional[Dict[str, object]] = None) -> LogicalPlan:
-    """Parse Cypher text and lower it to a GIR logical plan."""
-    ast = parse_cypher(query, parameters)
+def cypher_to_gir(
+    query: str,
+    parameters: Optional[Dict[str, object]] = None,
+    defer_parameters: bool = False,
+) -> LogicalPlan:
+    """Parse Cypher text and lower it to a GIR logical plan.
+
+    ``defer_parameters=True`` keeps ``$param`` placeholders symbolic (as
+    :class:`~repro.gir.expressions.Parameter` nodes) so the plan is reusable
+    across parameter values; see :func:`parse_cypher`.
+    """
+    ast = parse_cypher(query, parameters, defer_parameters=defer_parameters)
     return lower_cypher_ast(ast)
 
 

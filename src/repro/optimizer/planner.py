@@ -164,7 +164,12 @@ class GOptimizer:
 
     # -- public API -------------------------------------------------------------
     def optimize(self, plan: LogicalPlan) -> OptimizationReport:
-        """Run RBO, type inference and CBO, producing a physical plan."""
+        """Run RBO, type inference and CBO, producing a physical plan.
+
+        Re-entrant and thread-safe: per-optimization state (the pattern
+        search records) lives in a local list threaded through the lowering
+        calls, so concurrent sessions can share one optimizer.
+        """
         start = time.perf_counter()
         applied_rules: Tuple[str, ...] = ()
         optimized = plan
@@ -173,17 +178,17 @@ class GOptimizer:
             optimized = hep.optimize(plan)
             applied_rules = hep.applied_rule_names()
 
-        self._searches: List[PatternSearchInfo] = []
-        root_op = self._to_physical(optimized.root)
+        searches: List[PatternSearchInfo] = []
+        root_op = self._to_physical(optimized.root, searches)
         physical = PhysicalPlan(root_op)
-        estimated = sum(info.result.cost for info in self._searches)
+        estimated = sum(info.result.cost for info in searches)
         elapsed = time.perf_counter() - start
         return OptimizationReport(
             logical_plan=plan,
             optimized_logical_plan=optimized,
             physical_plan=physical,
             applied_rules=applied_rules,
-            pattern_searches=self._searches,
+            pattern_searches=searches,
             estimated_cost=estimated,
             optimization_time=elapsed,
         )
@@ -218,7 +223,8 @@ class GOptimizer:
         planner = UserOrderPlanner(self._gq, self._profile)
         return planner.optimize(pattern)
 
-    def _plan_match(self, node: MatchPatternOp) -> PhysicalOperator:
+    def _plan_match(self, node: MatchPatternOp,
+                    searches: List[PatternSearchInfo]) -> PhysicalOperator:
         pattern = node.pattern
         inference: Optional[TypeInferenceResult] = None
         if self._config.enable_type_inference:
@@ -229,7 +235,7 @@ class GOptimizer:
                 # pattern cannot match anything: emit an empty scan
                 first = pattern.vertex_names[0]
                 empty_scan = ScanVertex(tag=first, constraint=TypeConstraint.empty())
-                self._searches.append(PatternSearchInfo(
+                searches.append(PatternSearchInfo(
                     pattern=pattern,
                     result=SearchResult(
                         plan=PatternPlanNode(kind="scan",
@@ -240,8 +246,8 @@ class GOptimizer:
                 ))
                 return empty_scan
         result = self._search_pattern(pattern)
-        self._searches.append(PatternSearchInfo(pattern=pattern, result=result,
-                                                type_inference=inference))
+        searches.append(PatternSearchInfo(pattern=pattern, result=result,
+                                          type_inference=inference))
         op = build_pattern_physical(result.plan, self._profile)
         if node.semantics == "no_repeated_edge":
             edge_tags = tuple(e.name for e in pattern.edges if not e.is_path)
@@ -250,36 +256,40 @@ class GOptimizer:
         return op
 
     # -- logical -> physical conversion -----------------------------------------------
-    def _to_physical(self, node: LogicalOperator) -> PhysicalOperator:
+    def _to_physical(self, node: LogicalOperator,
+                     searches: List[PatternSearchInfo]) -> PhysicalOperator:
         if isinstance(node, MatchPatternOp):
-            return self._plan_match(node)
+            return self._plan_match(node, searches)
         if isinstance(node, SelectOp):
             return Filter(predicate=node.predicate,
-                          inputs=(self._to_physical(node.inputs[0]),))
+                          inputs=(self._to_physical(node.inputs[0], searches),))
         if isinstance(node, ProjectOp):
             return Project(items=node.items, append=node.append,
-                           inputs=(self._to_physical(node.inputs[0]),))
+                           inputs=(self._to_physical(node.inputs[0], searches),))
         if isinstance(node, GroupOp):
             return Aggregate(keys=node.keys, aggregations=node.aggregations,
                              mode=self._profile.aggregate_mode,
-                             inputs=(self._to_physical(node.inputs[0]),))
+                             inputs=(self._to_physical(node.inputs[0], searches),))
         if isinstance(node, OrderOp):
             return Sort(keys=node.keys, limit=node.limit,
-                        inputs=(self._to_physical(node.inputs[0]),))
+                        inputs=(self._to_physical(node.inputs[0], searches),))
         if isinstance(node, LimitOp):
-            return Limit(count=node.count, inputs=(self._to_physical(node.inputs[0]),))
+            return Limit(count=node.count,
+                         inputs=(self._to_physical(node.inputs[0], searches),))
         if isinstance(node, DedupOp):
-            return Dedup(tags=node.tags, inputs=(self._to_physical(node.inputs[0]),))
+            return Dedup(tags=node.tags,
+                         inputs=(self._to_physical(node.inputs[0], searches),))
         if isinstance(node, JoinOp):
-            left = self._to_physical(node.inputs[0])
-            right = self._to_physical(node.inputs[1])
+            left = self._to_physical(node.inputs[0], searches)
+            right = self._to_physical(node.inputs[1], searches)
             return HashJoin(keys=node.keys, join_type=node.join_type.value,
                             inputs=(left, right))
         if isinstance(node, UnionOp):
-            return self._plan_union(node)
+            return self._plan_union(node, searches)
         raise PlanningError("cannot lower logical operator %r" % (node,))
 
-    def _plan_union(self, node: UnionOp) -> PhysicalOperator:
+    def _plan_union(self, node: UnionOp,
+                    searches: List[PatternSearchInfo]) -> PhysicalOperator:
         shared = node.common_subpattern
         left, right = node.inputs
         if (
@@ -288,19 +298,20 @@ class GOptimizer:
             and isinstance(right, MatchPatternOp)
         ):
             try:
-                return self._plan_shared_union(node, shared, left, right)
+                return self._plan_shared_union(node, shared, left, right, searches)
             except PlanningError:
                 pass
-        left_op = self._to_physical(left)
-        right_op = self._to_physical(right)
+        left_op = self._to_physical(left, searches)
+        right_op = self._to_physical(right, searches)
         return Union(distinct=node.distinct, inputs=(left_op, right_op))
 
     def _plan_shared_union(
-        self, node: UnionOp, shared: PatternGraph, left: MatchPatternOp, right: MatchPatternOp
+        self, node: UnionOp, shared: PatternGraph, left: MatchPatternOp,
+        right: MatchPatternOp, searches: List[PatternSearchInfo],
     ) -> PhysicalOperator:
         """ComSubPattern execution: match the shared part once, expand residuals."""
         shared_result = self._search_pattern(shared)
-        self._searches.append(PatternSearchInfo(pattern=shared, result=shared_result))
+        searches.append(PatternSearchInfo(pattern=shared, result=shared_result))
         shared_op = build_pattern_physical(shared_result.plan, self._profile)
         branches = []
         for branch in (left, right):

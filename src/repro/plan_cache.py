@@ -1,4 +1,5 @@
-"""LRU plan cache for the :class:`~repro.api.GOpt` facade.
+"""Thread-safe LRU plan cache shared by :class:`~repro.service.GraphService`
+sessions (and the legacy :class:`~repro.api.GOpt` facade).
 
 Repeated parameterized queries dominate production traffic; parsing and
 optimizing them anew on every call wastes the whole optimizer budget on work
@@ -9,31 +10,54 @@ built from:
 * the *normalized* query text (whitespace collapsed, so formatting or
   indentation differences still hit);
 * the query language;
-* the full parameter signature -- names, **types** and values.  The Cypher
-  front-end inlines ``$param`` values as literals before parsing, so two
-  calls only share a plan when their parameters are interchangeable.  Types
-  are part of the signature explicitly: ``1``, ``1.0`` and ``True`` compare
-  (and hash) equal in Python but parse into different literals, so they must
-  never collide;
+* a parameter signature.  Which signature depends on how parameters reach
+  the plan:
+
+  - **inline** (the legacy ``GOpt`` path): the Cypher front-end inlines
+    ``$param`` values as literals before parsing, so the key must carry the
+    full signature -- names, **types** and values
+    (:func:`parameter_signature`).  Types are explicit because ``1``,
+    ``1.0`` and ``True`` compare (and hash) equal in Python but parse into
+    different literals;
+  - **deferred** (prepared statements): parameters stay symbolic in the
+    plan and are bound at execute time, so the key carries names and type
+    shapes only (:func:`parameter_type_signature`) -- N distinct values of
+    one template share a single cache entry;
+
 * an environment fingerprint (backend, engine, graph size, optimizer
   config), so mutating the graph or reconfiguring the optimizer bypasses
   stale entries instead of serving plans built for a different world.
+
+All cache operations (lookup, insert, accounting) hold an internal lock, so
+one cache can safely serve the concurrent sessions of a ``GraphService``.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, NamedTuple, Optional, Tuple
 
 
 class PlanCacheInfo(NamedTuple):
-    """Hit/miss accounting exposed via ``GOpt.cache_info()``."""
+    """Hit/miss accounting exposed via ``cache_info()``."""
 
     hits: int
     misses: int
     size: int
     capacity: int
     evictions: int
+
+    @classmethod
+    def disabled(cls) -> "PlanCacheInfo":
+        """The sentinel reported when no plan cache is configured.
+
+        ``capacity=0`` is the discriminator: a live cache always has
+        ``capacity >= 1`` (enforced by :class:`PlanCache`), so
+        ``info.capacity == 0`` means "caching disabled", not "an empty
+        cache".
+        """
+        return cls(hits=0, misses=0, size=0, capacity=0, evictions=0)
 
 
 def freeze_value(value) -> Tuple[str, object]:
@@ -59,6 +83,38 @@ def parameter_signature(parameters: Optional[Dict[str, object]]) -> Tuple:
     if not parameters:
         return ()
     return tuple(sorted((name, freeze_value(value))
+                        for name, value in parameters.items()))
+
+
+def freeze_type(value) -> Tuple:
+    """A hashable *type shape* fingerprint of a parameter value.
+
+    Unlike :func:`freeze_value` this carries no values: ``[1, 2]`` and
+    ``[7, 8, 9]`` share the shape ``("list", (("int",),))``.  Container
+    shapes record the (deduplicated, sorted) element shapes so that e.g. a
+    list of ints and a list of strings stay distinct while lists of
+    different lengths collapse.
+    """
+    type_name = type(value).__name__
+    if isinstance(value, (list, tuple, set, frozenset)):
+        element_shapes = tuple(sorted({freeze_type(item) for item in value}))
+        return (type_name, element_shapes)
+    if isinstance(value, dict):
+        return (type_name, tuple(sorted((key, freeze_type(item))
+                                        for key, item in value.items())))
+    return (type_name,)
+
+
+def parameter_type_signature(parameters: Optional[Dict[str, object]]) -> Tuple:
+    """Order-insensitive signature of parameter names and type shapes only.
+
+    The cache key for *deferred* (prepared-statement) plans: values are
+    bound at execute time, so every distinct value set of one template maps
+    to the same key and reuses one optimized plan.
+    """
+    if not parameters:
+        return ()
+    return tuple(sorted((name, freeze_type(value))
                         for name, value in parameters.items()))
 
 
@@ -93,48 +149,59 @@ def normalize_query_text(query: str) -> str:
 
 
 class PlanCache:
-    """A bounded LRU mapping cache keys to optimization reports."""
+    """A bounded, thread-safe LRU mapping cache keys to optimization reports.
+
+    Every operation holds an internal lock: lookups, inserts and the
+    hit/miss/eviction accounting are atomic, so concurrent sessions sharing
+    one cache can never corrupt the LRU order or lose counter updates.
+    """
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def get(self, key: Tuple):
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
 
     def put(self, key: Tuple, report) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = report
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = report
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
 
     def info(self) -> PlanCacheInfo:
-        return PlanCacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            size=len(self._entries),
-            capacity=self.capacity,
-            evictions=self._evictions,
-        )
+        with self._lock:
+            return PlanCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                capacity=self.capacity,
+                evictions=self._evictions,
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,127 @@
+"""ResultCursor: lazy, bounded-memory consumption of query results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.backend.base import ExecutionMetrics, ExecutionResult, StreamingResult
+from repro.errors import GOptError
+from repro.optimizer.planner import OptimizationReport
+
+
+class ResultCursor:
+    """An iterator over the rows of one query execution.
+
+    Rows are produced on demand from the backend's streaming execution, so a
+    consumer that stops early (``break``, :meth:`close`, :meth:`consume`)
+    never pays -- in time, memory or work counters -- for rows it does not
+    pull.  A cursor can also wrap an already-materialized
+    :class:`~repro.backend.ExecutionResult` (``Session.run(..., stream=False)``),
+    which keeps the same interface with eager semantics.
+
+    Typical use::
+
+        with session.run("MATCH (p:Person) RETURN p.name AS n") as cursor:
+            for row in cursor:           # or cursor.fetch_many(100)
+                handle(row)
+        metrics = cursor.consume()        # work/time actually performed
+    """
+
+    def __init__(
+        self,
+        source,
+        report: Optional[OptimizationReport] = None,
+    ):
+        self._report = report
+        self._closed = False
+        if isinstance(source, ExecutionResult):
+            self._stream: Optional[StreamingResult] = None
+            self._materialized: Optional[ExecutionResult] = source
+            self._iter: Iterator[dict] = iter(source.rows)
+        else:
+            self._stream = source
+            self._materialized = None
+            self._iter = iter(source)
+
+    # -- iteration --------------------------------------------------------------
+    def __iter__(self) -> "ResultCursor":
+        return self
+
+    def __next__(self) -> Dict[str, object]:
+        if self._closed:
+            raise StopIteration
+        return next(self._iter)
+
+    def fetch_one(self) -> Optional[Dict[str, object]]:
+        """The next row, or ``None`` when the result is exhausted."""
+        try:
+            return next(self)
+        except StopIteration:
+            return None
+
+    def fetch_many(self, count: int) -> List[Dict[str, object]]:
+        """Up to ``count`` further rows (fewer only at the end of the result)."""
+        if count < 0:
+            raise GOptError("fetch_many expects a non-negative count")
+        rows: List[Dict[str, object]] = []
+        while len(rows) < count:
+            row = self.fetch_one()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def fetch_all(self) -> List[Dict[str, object]]:
+        """All remaining rows (materializes the rest of the stream)."""
+        return list(self)
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the execution early; unpulled rows are never produced."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._stream is not None:
+            self._stream.close()
+
+    def consume(self) -> ExecutionMetrics:
+        """Discard any remaining rows and return the execution's metrics.
+
+        For a streaming cursor the metrics reflect only the work actually
+        performed up to this point -- an early ``consume()`` after a few
+        ``fetch_many`` calls reports the cost of those rows, not of the full
+        result set.
+        """
+        self.close()
+        return self.metrics()
+
+    def metrics(self) -> ExecutionMetrics:
+        """Work/time measurements of the execution so far (without closing)."""
+        if self._stream is not None:
+            return self._stream.metrics()
+        return self._materialized.metrics
+
+    # -- metadata ---------------------------------------------------------------
+    @property
+    def report(self) -> Optional[OptimizationReport]:
+        """The optimizer's report for this query (``None`` for raw plans)."""
+        return self._report
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the execution hit its time/intermediate budget."""
+        if self._stream is not None:
+            return self._stream.timed_out
+        return self._materialized.timed_out
+
+    @property
+    def backend(self) -> str:
+        if self._stream is not None:
+            return self._stream.backend
+        return self._materialized.backend
+
+    def __enter__(self) -> "ResultCursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""ConcurrentExecutor: fan query workloads over a pool of sessions."""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.backend.base import ExecutionMetrics, _UNSET
+from repro.errors import GOptError
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query of a concurrent workload."""
+
+    query: str
+    language: str = "cypher"
+    parameters: Optional[Dict[str, object]] = None
+
+
+@dataclass
+class QueryOutcome:
+    """What one concurrently served query produced."""
+
+    request: QueryRequest
+    rows: List[dict] = field(default_factory=list)
+    metrics: Optional[ExecutionMetrics] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def timed_out(self) -> bool:
+        return bool(self.metrics is not None and self.metrics.timed_out)
+
+
+class ConcurrentExecutor:
+    """Serve many queries concurrently through one shared :class:`GraphService`.
+
+    Each submitted query runs in its own short-lived session on a worker
+    thread, with an optional per-query ``deadline_seconds`` that overrides
+    the backend's timeout for that query only.  Failures are captured per
+    query (``QueryOutcome.error``) instead of tearing the pool down, and a
+    query that exceeds its deadline reports ``timed_out`` like any other
+    over-budget execution.
+
+    Usable as a context manager::
+
+        with ConcurrentExecutor(service, max_workers=8) as executor:
+            outcomes = executor.run_all(requests)
+    """
+
+    def __init__(
+        self,
+        service,
+        max_workers: int = 8,
+        deadline_seconds=_UNSET,
+        engine: Optional[str] = None,
+        stream: bool = True,
+    ):
+        if max_workers < 1:
+            raise GOptError("max_workers must be >= 1")
+        self._service = service
+        self._deadline_seconds = deadline_seconds
+        self._engine = engine
+        self._stream = stream
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve")
+
+    # -- submission --------------------------------------------------------------
+    def submit(
+        self,
+        query: Union[str, QueryRequest],
+        language: str = "cypher",
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> "Future[QueryOutcome]":
+        """Schedule one query; returns a future resolving to its outcome."""
+        request = (query if isinstance(query, QueryRequest)
+                   else QueryRequest(query, language, parameters))
+        return self._pool.submit(self._serve_one, request)
+
+    def run_all(self, requests: Sequence[Union[str, QueryRequest]]) -> List[QueryOutcome]:
+        """Run a workload to completion, preserving request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # -- worker ------------------------------------------------------------------
+    def _serve_one(self, request: QueryRequest) -> QueryOutcome:
+        try:
+            with self._service.session(
+                engine=self._engine,
+                timeout_seconds=self._deadline_seconds,
+            ) as session:
+                cursor = session.run(request.query, request.language,
+                                     request.parameters, stream=self._stream)
+                rows = cursor.fetch_all()
+                metrics = cursor.consume()
+                return QueryOutcome(request=request, rows=rows, metrics=metrics)
+        except Exception as exc:  # noqa: BLE001 - per-query fault isolation
+            return QueryOutcome(request=request, error="%s: %s"
+                                % (type(exc).__name__, exc))
+
+    # -- lifecycle ---------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ConcurrentExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

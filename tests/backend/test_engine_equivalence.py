@@ -1,11 +1,14 @@
 """Differential test suite: the vectorized engine must be row-for-row
-equivalent to the row engine.
+equivalent to the row engine, and the streaming twins to both.
 
 Every query of the micro (QR/QT/QC) and LDBC (IC/BI) workloads is optimized
 once and the resulting physical plan is interpreted by BOTH engines on BOTH
 backend profiles.  The engines must return identical rows in identical order
 and charge every work counter identically (only wall-clock time may differ),
-so the paper's experiments are engine-independent.
+so the paper's experiments are engine-independent.  Each engine's streaming
+pipeline must yield the same rows as its materializing form; a fully drained
+stream charges identical counters unless the plan contains an early-exit
+``Limit``, where streaming may only do *less* work.
 """
 
 import pytest
@@ -15,6 +18,7 @@ from repro import GOpt
 from repro.backend import GraphScopeLikeBackend, Neo4jLikeBackend
 from repro.bench.pipelines import build_optimizer
 from repro.graph.property_graph import PropertyGraph
+from repro.optimizer.physical_plan import Limit
 from repro.workloads import bi_queries, ic_queries, qc_queries, qr_queries, qt_queries
 
 MICRO_SETS = {qs.name: qs for qs in (qr_queries(), qt_queries(), qc_queries())}
@@ -57,8 +61,19 @@ def _find_query(set_name, query_name):
     return query_set.get(query_name)
 
 
+def _has_limit(op) -> bool:
+    if isinstance(op, Limit):
+        return True
+    return any(_has_limit(child) for child in op.inputs)
+
+
 def assert_engines_agree(backend, physical_plan, label=""):
-    """Execute one plan with both engines; rows and counters must match."""
+    """Execute one plan with both engines; rows and counters must match.
+
+    Also drains both streaming pipelines: identical rows always; identical
+    counters unless the plan has an early-exit Limit (streaming then does at
+    most the materializing engine's work).
+    """
     row_result = backend.execute(physical_plan, engine="row")
     vec_result = backend.execute(physical_plan, engine="vectorized")
     assert row_result.timed_out == vec_result.timed_out, label
@@ -71,6 +86,26 @@ def assert_engines_agree(backend, physical_plan, label=""):
         assert row_metrics[counter] == vec_metrics[counter], (
             "%s: counter %s differs (row=%s vectorized=%s)"
             % (label, counter, row_metrics[counter], vec_metrics[counter]))
+
+    early_exit = not row_result.timed_out and _has_limit(physical_plan.root)
+    for engine, reference in (("row", row_metrics), ("vectorized", vec_metrics)):
+        stream = backend.execute_streaming(physical_plan, engine=engine)
+        streamed_rows = list(stream)
+        if row_result.timed_out:
+            # budget overruns surface as a truncated (possibly empty) stream
+            assert stream.timed_out or streamed_rows == row_result.rows, label
+            continue
+        assert streamed_rows == row_result.rows, (
+            "%s: %s streaming disagrees on rows" % (label, engine))
+        streamed = stream.metrics().as_dict()
+        for counter in COMPARED_COUNTERS:
+            if early_exit:
+                assert streamed[counter] <= reference[counter], (
+                    "%s: %s streaming did extra %s work" % (label, engine, counter))
+            else:
+                assert streamed[counter] == reference[counter], (
+                    "%s: %s streaming counter %s differs (stream=%s full=%s)"
+                    % (label, engine, counter, streamed[counter], reference[counter]))
 
 
 @pytest.mark.parametrize("backend_kind", ["graphscope", "neo4j"])

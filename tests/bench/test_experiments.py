@@ -112,6 +112,18 @@ class TestExperiments:
         gopt_row = [r for r in rows if r["plan"] == "GOpt-plan"][0]
         assert gopt_row["join_position"].startswith("(")
 
+    def test_concurrent_serving_experiment(self, ldbc_graph, ldbc_glogue):
+        rows = experiments.concurrent_serving_experiment(
+            ldbc_graph, num_clients=4, requests_per_client=4,
+            engines=("row", "vectorized"), glogue=ldbc_glogue)
+        assert {row["engine"] for row in rows} == {"row", "vectorized"}
+        for row in rows:
+            assert row["errors"] == 0
+            assert row["rows_match"] is True
+            # prepared plans key on types: one cache entry per template
+            assert row["cache_entries"] <= len(experiments.SERVING_TEMPLATES)
+            assert row["cache_hit_rate"] is not None and row["cache_hit_rate"] > 0.5
+
     def test_search_ablation_experiment(self, ldbc_graph, ldbc_glogue):
         rows = experiments.search_ablation_experiment(
             ldbc_graph, query_names=["QC1a"], glogue=ldbc_glogue)

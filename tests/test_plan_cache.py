@@ -1,4 +1,6 @@
-"""Unit tests for the GOpt LRU plan cache."""
+"""Unit tests for the shared LRU plan cache (GOpt facade + service layer)."""
+
+import threading
 
 import pytest
 
@@ -6,6 +8,7 @@ from repro import GOpt
 from repro.optimizer.planner import OptimizerConfig
 from repro.plan_cache import (
     PlanCache,
+    PlanCacheInfo,
     freeze_value,
     normalize_query_text,
     parameter_signature,
@@ -53,6 +56,24 @@ class TestHitMissAccounting:
         gopt.execute_cypher("MATCH (p:Person) RETURN count(p) AS c")
         info = gopt.cache_info()
         assert (info.hits, info.misses, info.capacity) == (0, 0, 0)
+
+    @pytest.mark.parametrize("size", [None, 0])
+    def test_disabled_cache_reports_sentinel(self, social_graph, size):
+        """``capacity == 0`` is the documented "caching disabled" marker.
+
+        A live cache always has capacity >= 1 (PlanCache rejects less), so
+        the sentinel is unambiguous; ``cache_info`` stays all-zero no matter
+        how many queries run, and ``clear_plan_cache`` is a safe no-op.
+        """
+        gopt = GOpt.for_graph(social_graph, backend="neo4j", plan_cache_size=size)
+        assert gopt.cache_info() == PlanCacheInfo.disabled()
+        assert gopt.cache_info().capacity == 0
+        gopt.execute_cypher("MATCH (p:Person) RETURN count(p) AS c")
+        gopt.clear_plan_cache()  # no-op, must not raise
+        assert gopt.cache_info() == PlanCacheInfo.disabled()
+
+    def test_enabled_cache_never_reports_capacity_zero(self, gopt):
+        assert gopt.cache_info().capacity >= 1
 
     def test_clear_resets_counts(self, gopt):
         gopt.optimize("MATCH (p:Person) RETURN count(p) AS c")
@@ -150,6 +171,47 @@ class TestEvictionOrder:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
             PlanCache(capacity=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_accounting_is_exact(self):
+        """Hammering one cache from many threads loses no counter updates."""
+        cache = PlanCache(capacity=16)
+        keys = [("q%d" % index,) for index in range(8)]
+        for key in keys:
+            cache.put(key, "plan")
+        threads_count, lookups_per_thread = 8, 500
+
+        def worker():
+            for index in range(lookups_per_thread):
+                assert cache.get(keys[index % len(keys)]) == "plan"
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        info = cache.info()
+        assert info.hits == threads_count * lookups_per_thread
+        assert info.misses == 0
+        assert info.size == len(keys)
+
+    def test_concurrent_inserts_respect_capacity(self):
+        cache = PlanCache(capacity=4)
+
+        def worker(base):
+            for index in range(200):
+                cache.put(("k", base, index % 10), index)
+                cache.get(("k", base, index % 10))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        info = cache.info()
+        assert info.size <= 4
+        assert len(cache) == info.size
 
 
 class TestEnvironmentBypass:
