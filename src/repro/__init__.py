@@ -36,6 +36,7 @@ over the service.)
 """
 
 from repro.api import GOpt, OptimizedQuery
+from repro.backend.base import available_engines
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import GraphSchema
 from repro.graph.types import AllType, BasicType, Direction, UnionType
@@ -54,6 +55,7 @@ __version__ = "1.1.0"
 __all__ = [
     "GOpt",
     "OptimizedQuery",
+    "available_engines",
     "GraphService",
     "Session",
     "PreparedQuery",

@@ -21,8 +21,9 @@ concurrent serving::
 
 Two runtime knobs matter for serving traffic:
 
-* ``engine`` selects the plan interpreter -- ``"row"`` (tuple-at-a-time) or
-  ``"vectorized"`` (columnar batches); both return identical rows.
+* ``engine`` selects the plan interpreter -- ``"row"`` (tuple-at-a-time),
+  ``"vectorized"`` (columnar batches) or ``"dataflow"``
+  (partition-parallel worker pipelines); all return identical rows.
 * A built-in LRU **plan cache** memoizes parse+optimize results per
   (normalized query text, language, parameter signature, environment), so a
   repeated parameterized query goes straight to execution.  Inspect it with
@@ -35,8 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.backend import Backend
-from repro.backend.base import ENGINES, ExecutionResult
-from repro.errors import GOptError
+from repro.backend.base import ExecutionResult, available_engines, validate_engine
 from repro.gir.plan import LogicalPlan
 from repro.graph.property_graph import PropertyGraph
 from repro.optimizer.planner import GOptimizer, OptimizationReport, OptimizerConfig
@@ -121,6 +121,11 @@ class GOpt:
         self._service.optimizer = value
 
     # -- engine selection -------------------------------------------------------
+    @staticmethod
+    def available_engines() -> tuple:
+        """The engine names accepted by ``engine=`` everywhere in the stack."""
+        return available_engines()
+
     @property
     def engine(self) -> str:
         """The execution engine the backend interprets plans with."""
@@ -128,8 +133,7 @@ class GOpt:
 
     @engine.setter
     def engine(self, value: str) -> None:
-        if value not in ENGINES:
-            raise GOptError("unknown engine %r (expected one of %s)" % (value, list(ENGINES)))
+        validate_engine(value)
         self._service.backend.engine = value
 
     # -- parsing ---------------------------------------------------------------------

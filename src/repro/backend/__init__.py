@@ -17,19 +17,25 @@ paper's over-time markers.
 """
 
 from repro.backend.base import (
+    ENGINES,
     Backend,
     ExecutionMetrics,
     ExecutionResult,
     StreamingResult,
+    available_engines,
+    validate_engine,
 )
 from repro.backend.graphscope_like import GraphScopeLikeBackend
 from repro.backend.neo4j_like import Neo4jLikeBackend
 
 __all__ = [
+    "ENGINES",
     "Backend",
     "ExecutionResult",
     "ExecutionMetrics",
     "StreamingResult",
     "Neo4jLikeBackend",
     "GraphScopeLikeBackend",
+    "available_engines",
+    "validate_engine",
 ]

@@ -8,10 +8,11 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.backend.runtime.binding import ERef, PRef, VRef
 from repro.backend.runtime.context import ExecutionContext
+from repro.backend.runtime.dataflow import execute_dataflow, open_dataflow_stream
 from repro.backend.runtime.operators import execute_operator
 from repro.backend.runtime.streaming import stream_result_rows
 from repro.backend.runtime.vectorized import execute_vectorized
-from repro.errors import ExecutionTimeout
+from repro.errors import ExecutionTimeout, GOptError
 from repro.graph.partition import GraphPartitioner
 from repro.graph.property_graph import PropertyGraph
 from repro.optimizer.physical_plan import PhysicalPlan
@@ -61,6 +62,11 @@ class ExecutionResult:
     rows: List[dict]
     metrics: ExecutionMetrics
     backend: str = ""
+    #: observed exchange traffic (dataflow engine only): rows shuffled /
+    #: relocated / broadcast / gathered between partitions
+    exchange_stats: Optional[Dict[str, int]] = None
+    #: per-worker busy time in CPU seconds (dataflow engine only)
+    worker_busy: Optional[List[float]] = None
 
     @property
     def timed_out(self) -> bool:
@@ -126,6 +132,18 @@ class StreamingResult:
     def exhausted(self) -> bool:
         return self._finished
 
+    @property
+    def exchange_stats(self) -> Optional[Dict[str, int]]:
+        """Observed exchange traffic so far (dataflow engine only)."""
+        if self._ctx.exchange_stats is None:
+            return None
+        return self._ctx.exchange_stats.snapshot()
+
+    @property
+    def worker_busy(self) -> Optional[List[float]]:
+        """Per-worker busy CPU seconds (dataflow engine only)."""
+        return self._ctx.worker_busy
+
     def metrics(self) -> ExecutionMetrics:
         """Work and time measurements of the execution *so far*."""
         counters = self._ctx.counters
@@ -143,23 +161,45 @@ class StreamingResult:
 
 
 #: execution engines understood by every backend
-ENGINES = ("row", "vectorized")
+ENGINES = ("row", "vectorized", "dataflow")
+
+
+def available_engines() -> tuple:
+    """The execution engines every backend can interpret plans with."""
+    return ENGINES
+
+
+def validate_engine(engine: str) -> str:
+    """Validate an engine name, raising a helpful error listing the options.
+
+    The single validation point for every layer that accepts an ``engine=``
+    string (backends, sessions, the ``GOpt`` facade), so a typo fails fast
+    with the list of valid engines instead of deep inside dispatch.
+    """
+    if engine not in ENGINES:
+        raise GOptError("unknown engine %r (expected one of %s)"
+                        % (engine, list(ENGINES)))
+    return engine
 
 
 class Backend:
     """Common machinery for the simulated execution backends.
 
-    Every backend can interpret physical plans with either of two engines:
+    Every backend can interpret physical plans with any of three engines:
 
     * ``"row"`` -- the original tuple-at-a-time interpreter
       (:mod:`repro.backend.runtime.operators`);
     * ``"vectorized"`` -- the columnar batch interpreter
       (:mod:`repro.backend.runtime.vectorized`), processing binding tables as
-      column batches in chunks of ``batch_size`` rows.
+      column batches in chunks of ``batch_size`` rows;
+    * ``"dataflow"`` -- the partition-parallel runtime
+      (:mod:`repro.backend.runtime.dataflow`): per-partition pipelines over
+      the graph partitioner's shards, connected by exchange operators and
+      executed by ``workers`` threads.
 
-    Both engines produce identical rows in identical order and charge the
+    All engines produce identical rows in identical order and charge the
     work counters identically (enforced by the differential test suite), so
-    the engine choice only affects wall-clock speed.
+    the engine choice only affects wall-clock behavior.
     """
 
     name = "backend"
@@ -171,16 +211,19 @@ class Backend:
         timeout_seconds: Optional[float] = 60.0,
         engine: str = "row",
         batch_size: int = 1024,
+        workers: int = 4,
     ):
-        if engine not in ENGINES:
-            raise ValueError("unknown engine %r (expected one of %s)" % (engine, list(ENGINES)))
+        validate_engine(engine)
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.graph = graph
         self.max_intermediate_results = max_intermediate_results
         self.timeout_seconds = timeout_seconds
         self.engine = engine
         self.batch_size = batch_size
+        self.workers = workers
 
     # subclasses override to provide a partitioner (distributed backends)
     def _partitioner(self) -> Optional[GraphPartitioner]:
@@ -191,10 +234,7 @@ class Backend:
         raise NotImplementedError
 
     def _resolve_engine(self, engine: Optional[str]) -> str:
-        engine = engine or self.engine
-        if engine not in ENGINES:
-            raise ValueError("unknown engine %r (expected one of %s)" % (engine, list(ENGINES)))
-        return engine
+        return validate_engine(engine or self.engine)
 
     def _make_context(
         self,
@@ -202,12 +242,14 @@ class Backend:
         timeout_seconds=_UNSET,
         max_intermediate_results=_UNSET,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> ExecutionContext:
         """A fresh execution context, applying per-call budget overrides.
 
         The overrides exist for the session layer: sessions of one shared
-        backend run with their own engine/timeout/budget/batch size without
-        mutating the backend (which would race under concurrent serving).
+        backend run with their own engine/timeout/budget/batch size/worker
+        count without mutating the backend (which would race under
+        concurrent serving).
         """
         return ExecutionContext(
             self.graph,
@@ -219,6 +261,7 @@ class Backend:
                              else timeout_seconds),
             batch_size=batch_size if batch_size is not None else self.batch_size,
             parameters=parameters,
+            workers=workers if workers is not None else self.workers,
         )
 
     def execute(
@@ -229,6 +272,7 @@ class Backend:
         timeout_seconds=_UNSET,
         max_intermediate_results=_UNSET,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> ExecutionResult:
         """Interpret a physical plan, enforcing the time/intermediate budget.
 
@@ -243,13 +287,15 @@ class Backend:
         """
         engine = self._resolve_engine(engine)
         ctx = self._make_context(parameters, timeout_seconds,
-                                 max_intermediate_results, batch_size)
+                                 max_intermediate_results, batch_size, workers)
         start = time.perf_counter()
         timed_out = False
         rows: List[dict] = []
         try:
             if engine == "vectorized":
                 rows = execute_vectorized(plan.root, ctx).to_rows()
+            elif engine == "dataflow":
+                rows = execute_dataflow(plan.root, ctx)
             else:
                 rows = execute_operator(plan.root, ctx)
         except ExecutionTimeout:
@@ -266,7 +312,12 @@ class Backend:
             cells_produced=counters.cells_produced,
             timed_out=timed_out,
         )
-        return ExecutionResult(rows=rows, metrics=metrics, backend=self.name)
+        return ExecutionResult(
+            rows=rows, metrics=metrics, backend=self.name,
+            exchange_stats=(ctx.exchange_stats.snapshot()
+                            if ctx.exchange_stats is not None else None),
+            worker_busy=ctx.worker_busy,
+        )
 
     def execute_streaming(
         self,
@@ -276,6 +327,7 @@ class Backend:
         timeout_seconds=_UNSET,
         max_intermediate_results=_UNSET,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> "StreamingResult":
         """Begin a lazy plan execution, returning a :class:`StreamingResult`.
 
@@ -283,13 +335,19 @@ class Backend:
         (:mod:`repro.backend.runtime.streaming`): a consumer that stops early
         (``LIMIT``, cursor close) never pays for the rows it does not pull.
         Work counters and the time/intermediate budget are enforced
-        incrementally as rows are pulled.
+        incrementally as rows are pulled.  The dataflow engine instead starts
+        its worker pipelines in the background immediately -- rows become
+        available after the final gather, and an early close cancels the
+        in-flight workers and drains their channels.
         """
         engine = self._resolve_engine(engine)
         ctx = self._make_context(parameters, timeout_seconds,
-                                 max_intermediate_results, batch_size)
-        return StreamingResult(ctx, stream_result_rows(plan.root, ctx, engine),
-                               backend=self.name)
+                                 max_intermediate_results, batch_size, workers)
+        if engine == "dataflow":
+            source = open_dataflow_stream(plan.root, ctx)
+        else:
+            source = stream_result_rows(plan.root, ctx, engine)
+        return StreamingResult(ctx, source, backend=self.name)
 
     # -- convenience helpers for presenting results ----------------------------------
     def render_value(self, value):

@@ -30,9 +30,10 @@ class GraphScopeLikeBackend(Backend):
         timeout_seconds: Optional[float] = 60.0,
         engine: str = "row",
         batch_size: int = 1024,
+        workers: int = 4,
     ):
         super().__init__(graph, max_intermediate_results, timeout_seconds,
-                         engine=engine, batch_size=batch_size)
+                         engine=engine, batch_size=batch_size, workers=workers)
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.num_partitions = num_partitions

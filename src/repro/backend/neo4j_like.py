@@ -29,9 +29,10 @@ class Neo4jLikeBackend(Backend):
         timeout_seconds: Optional[float] = 60.0,
         engine: str = "row",
         batch_size: int = 1024,
+        workers: int = 4,
     ):
         super().__init__(graph, max_intermediate_results, timeout_seconds,
-                         engine=engine, batch_size=batch_size)
+                         engine=engine, batch_size=batch_size, workers=workers)
 
     def _partitioner(self) -> Optional[GraphPartitioner]:
         return None

@@ -3,6 +3,7 @@
 from repro.backend.runtime.binding import ERef, PRef, VRef
 from repro.backend.runtime.columnar import MISSING, ColumnBatch, OverlayBinding, RowCursor
 from repro.backend.runtime.context import ExecutionContext
+from repro.backend.runtime.dataflow import execute_dataflow
 from repro.backend.runtime.operators import execute_operator
 from repro.backend.runtime.vectorized import execute_vectorized
 
@@ -13,6 +14,7 @@ __all__ = [
     "ExecutionContext",
     "execute_operator",
     "execute_vectorized",
+    "execute_dataflow",
     "ColumnBatch",
     "RowCursor",
     "OverlayBinding",

@@ -34,6 +34,15 @@ class WorkCounters:
             "cells_produced": self.cells_produced,
         }
 
+    def merge(self, other: "WorkCounters") -> None:
+        """Fold another counter set into this one (dataflow worker forks)."""
+        self.intermediate_results += other.intermediate_results
+        self.edges_traversed += other.edges_traversed
+        self.vertices_scanned += other.vertices_scanned
+        self.tuples_shuffled += other.tuples_shuffled
+        self.operators_executed += other.operators_executed
+        self.cells_produced += other.cells_produced
+
 
 class ExecutionContext:
     """Everything an operator needs while interpreting a physical plan."""
@@ -46,6 +55,7 @@ class ExecutionContext:
         timeout_seconds: Optional[float] = None,
         batch_size: int = 1024,
         parameters: Optional[Dict[str, object]] = None,
+        workers: int = 1,
     ):
         self.graph = graph
         self.partitioner = partitioner
@@ -53,6 +63,20 @@ class ExecutionContext:
         self.max_intermediate_results = max_intermediate_results
         self.timeout_seconds = timeout_seconds
         self.batch_size = batch_size
+        # dataflow engine: worker threads driving the partition pipelines
+        self.workers = workers
+        # populated by the dataflow engine: observed exchange traffic and
+        # per-worker busy time (None for the serial engines)
+        self.exchange_stats = None
+        self.worker_busy: Optional[List[float]] = None
+        # dataflow worker forks report intermediates to a shared budget
+        # instead of enforcing a local one (see ``fork``)
+        self._budget_hook = None
+        # optional cancellation probe, called wherever the deadline is
+        # checked; the dataflow engine uses it so an early cursor close
+        # interrupts driver-side operators at the same granularity as the
+        # time budget (it raises to abort the execution)
+        self.cancel_check = None
         # execute-time values for deferred $param placeholders (prepared plans)
         self.parameters: Dict[str, object] = dict(parameters or {})
         self._start_time = time.perf_counter()
@@ -75,7 +99,9 @@ class ExecutionContext:
     def charge_intermediate(self, count: int) -> None:
         """Account produced intermediate rows and enforce the budget."""
         self.counters.intermediate_results += count
-        if (
+        if self._budget_hook is not None:
+            self._budget_hook(count)
+        elif (
             self.max_intermediate_results is not None
             and self.counters.intermediate_results > self.max_intermediate_results
         ):
@@ -85,7 +111,31 @@ class ExecutionContext:
             )
         self.check_deadline()
 
+    def fork(self, budget_hook=None) -> "ExecutionContext":
+        """A worker-private context sharing this execution's graph and clock.
+
+        Dataflow workers charge counters into their fork (merged back by the
+        driver) so the shared :class:`WorkCounters` are never mutated from
+        multiple threads.  ``budget_hook`` receives every intermediate-result
+        charge, letting a shared budget enforce the *global* limit; the fork
+        itself enforces only the wall-clock deadline (same start time).
+        """
+        child = ExecutionContext(
+            self.graph,
+            partitioner=self.partitioner,
+            max_intermediate_results=None,
+            timeout_seconds=self.timeout_seconds,
+            batch_size=self.batch_size,
+            parameters=self.parameters,
+            workers=1,
+        )
+        child._start_time = self._start_time
+        child._budget_hook = budget_hook
+        return child
+
     def check_deadline(self) -> None:
+        if self.cancel_check is not None:
+            self.cancel_check()
         if self.timeout_seconds is not None:
             elapsed = time.perf_counter() - self._start_time
             if elapsed > self.timeout_seconds:

@@ -1,0 +1,638 @@
+"""Partition-parallel dataflow execution of physical plans.
+
+:class:`DataflowExecutor` interprets a physical plan the way a distributed
+dataflow engine (GraphScope/Gaia) would, inside one process:
+
+* the driver walks the operator tree, carving out the parallel segments
+  compiled by :mod:`repro.backend.runtime.dataflow.plan`;
+* each segment runs as per-partition pipelines over the
+  :class:`~repro.graph.partition.GraphPartitioner` shards, connected by
+  hash-shuffle / relocate exchanges over bounded morsel channels, executed
+  by a pool of ``ctx.workers`` threads with a downstream-first scheduler
+  (consumers drain before stalled producers retry, which makes the bounded
+  channels deadlock-free with fewer threads than pipeline actors);
+* pipeline breakers (Sort, Aggregate, HashJoin, Limit, Dedup, Union) run at
+  the driver through the serial row-engine handlers over gathered rows, so
+  their results -- and their simulated communication charges -- are
+  identical to the row engine's;
+* small build sides of inner hash joins are broadcast to the partitions and
+  probed in parallel instead of gathering the probe side.
+
+Rows carry lineage tuples; the final gather merges all partitions' outputs
+in lineage order, which reproduces the serial row engine's row order exactly
+-- the differential suite holds the dataflow engine to the same rows and
+work counters as the row and vectorized engines.  Communication observed at
+priced exchanges is charged to the ``tuples_shuffled`` counter and must
+reconcile with the simulated counts of the ``graphscope_like`` cost model
+(see :mod:`repro.backend.runtime.dataflow.exchange`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend.runtime.binding import VRef
+from repro.backend.runtime.context import ExecutionContext
+from repro.backend.runtime.dataflow.channel import (
+    Channel,
+    Morsel,
+    Pair,
+    morselize,
+)
+from repro.backend.runtime.dataflow.exchange import ExchangeStats
+from repro.backend.runtime.dataflow.plan import (
+    Pipeline,
+    SegmentPlan,
+    build_pipelines,
+    extract_segment,
+    plan_refcounts,
+)
+from repro.backend.runtime.dataflow.steps import STEP_KERNELS, charge_outputs
+from repro.backend.runtime.operators import (
+    Row,
+    _merge_rows,
+    execute_operator,
+)
+from repro.errors import ExecutionTimeout
+from repro.graph.partition import GraphPartitioner
+from repro.optimizer.physical_plan import HashJoin, PhysicalOperator
+
+#: build sides larger than this are not broadcast (the driver handler joins
+#: gathered rows instead); generous for the repo's simulated graph sizes
+BROADCAST_THRESHOLD = 4096
+
+#: how long an idle worker sleeps before rescanning for runnable actors
+_IDLE_SLEEP = 0.0005
+
+
+class _CancelledError(Exception):
+    """Internal: the execution was cancelled (early cursor close)."""
+
+
+class _SharedBudget:
+    """Cumulative intermediate-result budget shared by all worker forks.
+
+    Worker contexts charge here instead of enforcing their own budget, so the
+    *global* total (driver charges so far + all workers) is what trips the
+    limit -- the same cumulative semantics the serial engines enforce.
+    """
+
+    def __init__(self, limit: Optional[int]):
+        self.limit = limit
+        self.base = 0
+        self.worker_total = 0
+        self._lock = threading.Lock()
+
+    def rebase(self, driver_total: int) -> None:
+        self.base = driver_total
+        self.worker_total = 0
+
+    def charge(self, count: int) -> None:
+        with self._lock:
+            self.worker_total += count
+            total = self.base + self.worker_total
+        if self.limit is not None and total > self.limit:
+            raise ExecutionTimeout(
+                "intermediate result budget exceeded (%d rows)" % total)
+
+
+class _Actor:
+    """One (pipeline stage, partition) of a running segment."""
+
+    __slots__ = ("stage", "partition", "pipeline", "fork", "source_items",
+                 "source_offset", "in_channel", "pending", "done", "claimed",
+                 "runner")
+
+    def __init__(self, runner: "_SegmentRunner", stage: int, partition: int,
+                 pipeline: Pipeline, source_items: Optional[List] = None,
+                 in_channel: Optional[Channel] = None):
+        self.runner = runner
+        self.stage = stage
+        self.partition = partition
+        self.pipeline = pipeline
+        self.fork = runner.executor.ctx.fork(budget_hook=runner.executor.budget.charge)
+        # kernels probe this wherever they would check the deadline, so a
+        # cancellation lands mid-kernel instead of at the next morsel
+        self.fork.cancel_check = runner.executor._check_cancelled
+        self.source_items = source_items
+        self.source_offset = 0
+        self.in_channel = in_channel
+        #: routed but not yet delivered output: deque of (dest_partition, Morsel)
+        self.pending: "deque[Tuple[int, Morsel]]" = deque()
+        self.done = False
+        self.claimed = False
+
+    # -- scheduling ------------------------------------------------------------
+    def runnable(self) -> bool:
+        if self.done:
+            return False
+        if self.pending:
+            return True
+        if self.in_channel is not None:
+            return len(self.in_channel) > 0 or self.in_channel.exhausted()
+        return True  # list-sourced: always has input or can finish
+
+    def _source_exhausted(self) -> bool:
+        if self.in_channel is not None:
+            return self.in_channel.exhausted()
+        return self.source_offset >= len(self.source_items or [])
+
+    def _next_chunk(self) -> Optional[List]:
+        if self.in_channel is not None:
+            morsel = self.in_channel.try_get()
+            return morsel.pairs() if morsel is not None else None
+        items = self.source_items or []
+        if self.source_offset >= len(items):
+            return None
+        chunk = items[self.source_offset:self.source_offset + self.runner.morsel_rows]
+        self.source_offset += len(chunk)
+        return chunk
+
+    # -- execution -------------------------------------------------------------
+    def quantum(self) -> None:
+        """Process a bounded amount of input, honoring backpressure."""
+        runner = self.runner
+        self._flush()
+        if self.pending:
+            return  # downstream is full; let the scheduler drain it first
+        for _ in range(4):
+            if runner.executor.cancelled():
+                return
+            chunk = self._next_chunk()
+            if chunk is None:
+                break
+            pairs = self._process(chunk)
+            self._route(pairs)
+            self._flush()
+            if self.pending:
+                return
+        if self._source_exhausted() and not self.pending:
+            self.done = True
+            runner.stage_finished(self.stage)
+
+    def _process(self, chunk: List) -> List[Pair]:
+        data = chunk
+        for spec in self.pipeline.steps:
+            kernel = STEP_KERNELS[type(spec.op)]
+            data = kernel(spec.op, self.fork, data)
+            charge_outputs(self.fork, data)
+            if not data:
+                break
+        return data
+
+    def _route(self, pairs: List[Pair]) -> None:
+        if not pairs:
+            return
+        runner = self.runner
+        exchange = self.pipeline.out_exchange
+        if exchange is None:
+            runner.deliver_output(self.partition, pairs)
+            return
+        partition_of = runner.partition_of
+        groups: Dict[int, List[Pair]] = {}
+        crossed = stayed = 0
+        last_bundle = None
+        for seq, row in pairs:
+            value = row.get(exchange.tag)
+            if isinstance(value, VRef):
+                dest = partition_of(value.id)
+                if exchange.coalesce_bundles:
+                    bundle = (seq[:-1], value.id)
+                    counted = bundle != last_bundle
+                    last_bundle = bundle
+                else:
+                    counted = True
+                if counted:
+                    if dest != self.partition:
+                        crossed += 1
+                    else:
+                        stayed += 1
+            else:
+                dest = self.partition
+            groups.setdefault(dest, []).append((seq, row))
+        stats = runner.executor.stats
+        if exchange.priced:
+            stats.record_shuffle(crossed, stayed)
+            if runner.executor.ctx.partitioner is not None:
+                self.fork.counters.tuples_shuffled += crossed
+        else:
+            stats.record_relocate(crossed)
+        for dest, dest_pairs in groups.items():
+            for morsel in morselize(dest_pairs, runner.morsel_rows):
+                self.pending.append((dest, morsel))
+
+    def _flush(self) -> None:
+        while self.pending:
+            dest, morsel = self.pending[0]
+            if not self.runner.channels[self.stage + 1][dest].try_put(morsel):
+                return
+            self.pending.popleft()
+
+
+class _SegmentRunner:
+    """Executes one compiled segment over the worker pool."""
+
+    def __init__(self, executor: "DataflowExecutor", segment: SegmentPlan):
+        self.executor = executor
+        self.segment = segment
+        self.morsel_rows = max(1, executor.ctx.batch_size)
+        self.partition_of = executor.partition_of
+        self.pipelines = build_pipelines(segment)
+        num_partitions = executor.num_partitions
+        # channels[s][p] feeds stage s of partition p (stage 0 is list-fed)
+        self.channels: List[Optional[List[Channel]]] = [None]
+        for _ in range(len(self.pipelines) - 1):
+            self.channels.append([Channel() for _ in range(num_partitions)])
+        self.channels.append(None)  # no channel past the final stage
+        self._stage_remaining = [num_partitions] * len(self.pipelines)
+        self._lock = threading.Lock()
+        # final output: one buffer per partition (concatenated when gathering)
+        self.output: List[List[Pair]] = [[] for _ in range(num_partitions)]
+        self.actors: List[_Actor] = []
+
+    # -- output / lifecycle ----------------------------------------------------
+    def deliver_output(self, partition: int, pairs: List[Pair]) -> None:
+        self.output[partition].extend(pairs)
+
+    def stage_finished(self, stage: int) -> None:
+        with self._lock:
+            self._stage_remaining[stage] -= 1
+            finished = self._stage_remaining[stage] == 0
+        if finished and stage + 1 < len(self.pipelines):
+            for channel in self.channels[stage + 1]:
+                channel.close()
+
+    def drain(self) -> None:
+        """Empty every channel (cancellation path: free buffered morsels)."""
+        for stage_channels in self.channels:
+            if stage_channels is None:
+                continue
+            for channel in stage_channels:
+                channel.close()
+                channel.drain()
+
+    # -- setup -----------------------------------------------------------------
+    def build_actors(self, sources: List[List]) -> None:
+        for stage, pipeline in enumerate(self.pipelines):
+            for partition in range(self.executor.num_partitions):
+                if stage == 0:
+                    actor = _Actor(self, stage, partition, pipeline,
+                                   source_items=sources[partition])
+                else:
+                    actor = _Actor(self, stage, partition, pipeline,
+                                   in_channel=self.channels[stage][partition])
+                self.actors.append(actor)
+        # downstream-first claim order: draining consumers beats stalled
+        # producers, the invariant that makes bounded channels deadlock-free
+        self.actors.sort(key=lambda a: -a.stage)
+
+    def merge_counters(self) -> None:
+        ctx = self.executor.ctx
+        for actor in self.actors:
+            ctx.counters.merge(actor.fork.counters)
+
+
+class DataflowExecutor:
+    """Drives one physical-plan execution on the dataflow runtime."""
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+        workers = max(1, getattr(ctx, "workers", 1) or 1)
+        if ctx.partitioner is not None:
+            self._exec_partitioner = ctx.partitioner
+        else:
+            # single-machine backends still parallelize over worker shards,
+            # but no simulated communication is charged (partitioner is None)
+            self._exec_partitioner = GraphPartitioner(workers)
+        self.num_partitions = self._exec_partitioner.num_partitions
+        # the actor graph has (pipeline stages x partitions) runnable units,
+        # so threads beyond the partition count still find work; honor the
+        # requested worker count as-is (idle workers nap between scans)
+        self.num_threads = workers
+        self.stats = ExchangeStats()
+        self.budget = _SharedBudget(ctx.max_intermediate_results)
+        self.worker_busy = [0.0] * self.num_threads
+        self._cancel = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._error_lock = threading.Lock()
+        self.refcounts: Dict[int, int] = {}
+
+    # -- public API ------------------------------------------------------------
+    def run(self, root: PhysicalOperator) -> List[Row]:
+        self.refcounts = plan_refcounts(root)
+        # driver-side serial operators (Sort/Aggregate/HashJoin handlers)
+        # probe cancellation on their deadline checks, so an early cursor
+        # close interrupts them like a timeout would
+        self.ctx.cancel_check = self._check_cancelled
+        try:
+            return self._node(root)
+        finally:
+            self.ctx.cancel_check = None
+            self.ctx.exchange_stats = self.stats
+            self.ctx.worker_busy = list(self.worker_busy)
+
+    def cancel(self) -> None:
+        self._cancel.set()
+
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    def partition_of(self, vertex_id: int) -> int:
+        return self._exec_partitioner.partition_of(vertex_id)
+
+    # -- driver recursion ------------------------------------------------------
+    def _node(self, op: PhysicalOperator) -> List[Row]:
+        cached = self.ctx.cached_result(id(op))
+        if cached is not None:
+            return cached
+        self._check_cancelled()
+        segment = extract_segment(op, self.refcounts)
+        if segment is not None:
+            rows = self._run_segment(segment)
+            self.ctx.cache_result(id(op), rows, op)
+            return rows
+        if isinstance(op, HashJoin) and op.join_type == "inner":
+            rows = self._try_broadcast_join(op)
+            if rows is not None:
+                self.ctx.cache_result(id(op), rows, op)
+                return rows
+        for child in op.inputs:
+            self._node(child)
+        # children are now operator-cached: the serial handler interprets
+        # just this operator, charging counters exactly like the row engine
+        return execute_operator(op, self.ctx)
+
+    def _check_cancelled(self) -> None:
+        if self._cancel.is_set():
+            raise _CancelledError()
+
+    # -- segment execution -----------------------------------------------------
+    def _segment_sources(self, segment: SegmentPlan) -> List[List]:
+        sources: List[List] = [[] for _ in range(self.num_partitions)]
+        scan = segment.scan
+        if segment.source is None and scan is not None:
+            if not scan.constraint.is_empty:
+                for index, vid in enumerate(
+                        self.ctx.graph.vertices_of_type(scan.constraint)):
+                    sources[self.partition_of(vid)].append((index, vid))
+            return sources
+        rows = self._node(segment.source)
+        anchor = segment.steps[0].relocate_tag
+        for index, row in enumerate(rows):
+            value = row.get(anchor) if anchor is not None else None
+            if isinstance(value, VRef):
+                partition = self.partition_of(value.id)
+            else:
+                partition = index % self.num_partitions
+            sources[partition].append(((index,), row))
+        return sources
+
+    def _run_segment(self, segment: SegmentPlan, gather: bool = True):
+        ctx = self.ctx
+        sources = self._segment_sources(segment)
+        # one operators_executed tick per chain operator, like the row engine
+        ctx.counters.operators_executed += len(segment.steps)
+        runner = _SegmentRunner(self, segment)
+        runner.build_actors(sources)
+        self.budget.rebase(ctx.counters.intermediate_results)
+        try:
+            self._run_pool(runner)
+        finally:
+            runner.merge_counters()
+            runner.drain()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+        self._check_cancelled()
+        if not gather:
+            return runner.output
+        pairs: List[Pair] = []
+        for partition_pairs in runner.output:
+            pairs.extend(partition_pairs)
+        self._check_cancelled()
+        self.stats.record_gather(len(pairs))
+        pairs.sort(key=lambda pair: pair[0])
+        return [row for _, row in pairs]
+
+    # -- worker pool -----------------------------------------------------------
+    def _run_pool(self, runner: _SegmentRunner) -> None:
+        if self.num_threads == 1:
+            self._worker_loop(0, runner)
+            return
+        threads = [
+            threading.Thread(target=self._worker_loop, args=(slot, runner),
+                             name="dataflow-worker-%d" % slot, daemon=True)
+            for slot in range(self.num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def _worker_loop(self, slot: int, runner: _SegmentRunner) -> None:
+        actors = runner.actors
+        lock = runner._lock
+        while not self._cancel.is_set():
+            claimed = None
+            with lock:
+                for actor in actors:
+                    if not actor.claimed and actor.runnable():
+                        actor.claimed = True
+                        claimed = actor
+                        break
+            if claimed is None:
+                if all(actor.done for actor in actors):
+                    return
+                time.sleep(_IDLE_SLEEP)
+                continue
+            started = time.thread_time()
+            try:
+                claimed.quantum()
+            except BaseException as error:  # noqa: BLE001 - forwarded to driver
+                self._fail(error)
+            finally:
+                self.worker_busy[slot] += time.thread_time() - started
+                with lock:
+                    claimed.claimed = False
+
+    def _fail(self, error: BaseException) -> None:
+        with self._error_lock:
+            if self._error is None:
+                self._error = error
+        self._cancel.set()
+
+    # -- broadcast hash join ---------------------------------------------------
+    def _try_broadcast_join(self, op: HashJoin) -> Optional[List[Row]]:
+        """Parallel inner join: broadcast a small build side to the shards.
+
+        The left child is gathered (it may be any subtree); when it is small
+        enough -- and no larger than the right side, which is where the row
+        engine would put the build side too -- the right segment's rows stay
+        partitioned and are probed in parallel against the replicated build
+        table.  Falls back to the driver handler otherwise.
+        """
+        left, right = op.inputs[0], op.inputs[1]
+        if self.refcounts.get(id(right), 1) != 1:
+            return None
+        right_segment = extract_segment(right, self.refcounts)
+        if right_segment is None:
+            return None
+        build_rows = self._node(left)
+        if len(build_rows) > BROADCAST_THRESHOLD:
+            return None
+        partitions = self._run_segment(right_segment, gather=False)
+        probe_total = sum(len(pairs) for pairs in partitions)
+        if len(build_rows) > probe_total:
+            # the row engine would build on the (smaller) right side; gather
+            # it and let the driver handler take over
+            self._cache_gathered(right, partitions)
+            return None
+        self.ctx.counters.operators_executed += 1
+        # replicate the build table: zero-copy in-process, but the traffic a
+        # real runtime would ship is observed in the exchange stats
+        self.stats.record_broadcast(
+            len(build_rows) * max(0, self.num_partitions - 1))
+        index: Dict[Tuple, List[Row]] = {}
+        for row in build_rows:
+            index.setdefault(tuple(row.get(k) for k in op.keys), []).append(row)
+        outputs: List[List[Pair]] = [[] for _ in range(self.num_partitions)]
+
+        def probe(partition: int) -> None:
+            out = outputs[partition]
+            for seq, row in partitions[partition]:
+                key = tuple(row.get(k) for k in op.keys)
+                for position, build in enumerate(index.get(key, ())):
+                    merged = _merge_rows(build, row)
+                    if merged is not None:
+                        out.append((seq + (position,), merged))
+
+        self._parallel_partitions(probe)
+        pairs = [pair for partition_pairs in outputs for pair in partition_pairs]
+        pairs.sort(key=lambda pair: pair[0])
+        rows = [row for _, row in pairs]
+        # identical accounting to the serial HashJoin handler: both sides are
+        # repartitioned (simulated), then the join output is charged
+        self.ctx.charge_shuffle(len(build_rows) + probe_total)
+        self.ctx.counters.cells_produced += sum(len(row) for row in rows)
+        self.ctx.charge_intermediate(len(rows))
+        self.stats.record_gather(len(rows))
+        return rows
+
+    def _cache_gathered(self, op: PhysicalOperator,
+                        partitions: List[List[Pair]]) -> None:
+        pairs = [pair for partition_pairs in partitions for pair in partition_pairs]
+        self.stats.record_gather(len(pairs))
+        pairs.sort(key=lambda pair: pair[0])
+        self.ctx.cache_result(id(op), [row for _, row in pairs], op)
+
+    def _parallel_partitions(self, task) -> None:
+        """Run ``task(partition)`` for every partition on the worker pool."""
+        if self.num_threads == 1 or self.num_partitions == 1:
+            for partition in range(self.num_partitions):
+                self._check_cancelled()
+                started = time.thread_time()
+                try:
+                    task(partition)
+                finally:
+                    self.worker_busy[0] += time.thread_time() - started
+            return
+        pending = list(range(self.num_partitions))
+        lock = threading.Lock()
+
+        def loop(slot: int) -> None:
+            while not self._cancel.is_set():
+                with lock:
+                    if not pending:
+                        return
+                    partition = pending.pop()
+                started = time.thread_time()
+                try:
+                    task(partition)
+                except BaseException as error:  # noqa: BLE001
+                    self._fail(error)
+                finally:
+                    self.worker_busy[slot] += time.thread_time() - started
+
+        threads = [threading.Thread(target=loop, args=(slot,), daemon=True)
+                   for slot in range(self.num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+
+def execute_dataflow(root: PhysicalOperator, ctx: ExecutionContext) -> List[Row]:
+    """Execute a physical plan on the partition-parallel dataflow runtime."""
+    return DataflowExecutor(ctx).run(root)
+
+
+class DataflowRowStream:
+    """Iterator handle over a dataflow execution running in the background.
+
+    The execution starts immediately on a driver thread; rows become
+    available once the final gather completes (the dataflow engine's output
+    order is only known after the lineage merge).  ``close()`` cancels the
+    run mid-flight: workers stop at the next morsel boundary and every
+    channel is drained, which the stress tests rely on for deadlock-freedom.
+    """
+
+    def __init__(self, root: PhysicalOperator, ctx: ExecutionContext):
+        self._executor = DataflowExecutor(ctx)
+        self._rows: Optional[List[Row]] = None
+        self._error: Optional[BaseException] = None
+        self._index = 0
+        self._closed = False
+        self._finished = threading.Event()
+        self._thread = threading.Thread(target=self._drive, args=(root,),
+                                        name="dataflow-driver", daemon=True)
+        self._thread.start()
+
+    def _drive(self, root: PhysicalOperator) -> None:
+        try:
+            self._rows = self._executor.run(root)
+        except _CancelledError:
+            self._rows = []
+        except BaseException as error:  # noqa: BLE001 - re-raised on next()
+            self._error = error
+        finally:
+            self._finished.set()
+
+    def __iter__(self) -> "DataflowRowStream":
+        return self
+
+    def __next__(self) -> Row:
+        if self._closed:
+            raise StopIteration
+        self._finished.wait()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+        rows = self._rows or []
+        if self._index >= len(rows):
+            raise StopIteration
+        row = rows[self._index]
+        self._index += 1
+        return row
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.cancel()
+        # workers notice the cancel at morsel boundaries and driver operators
+        # on their deadline checks; only a single uninterruptible primitive
+        # (one huge sort already in progress) can outlive this join, in which
+        # case the daemon thread finishes on its own and is simply abandoned
+        self._thread.join(timeout=30.0)
+
+
+def open_dataflow_stream(root: PhysicalOperator,
+                         ctx: ExecutionContext) -> DataflowRowStream:
+    """Begin a dataflow execution whose rows are consumed lazily."""
+    return DataflowRowStream(root, ctx)

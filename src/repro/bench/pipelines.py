@@ -45,17 +45,19 @@ def make_backend(
     num_partitions: int = 4,
     engine: str = "row",
     batch_size: int = 1024,
+    workers: int = 4,
 ) -> Backend:
     """Create an execution backend with the experiment budgets applied."""
     if kind == "neo4j":
         return Neo4jLikeBackend(graph, max_intermediate_results=max_intermediate_results,
                                 timeout_seconds=timeout_seconds,
-                                engine=engine, batch_size=batch_size)
+                                engine=engine, batch_size=batch_size, workers=workers)
     if kind == "graphscope":
         return GraphScopeLikeBackend(graph, num_partitions=num_partitions,
                                      max_intermediate_results=max_intermediate_results,
                                      timeout_seconds=timeout_seconds,
-                                     engine=engine, batch_size=batch_size)
+                                     engine=engine, batch_size=batch_size,
+                                     workers=workers)
     raise ValueError("unknown backend kind %r" % (kind,))
 
 

@@ -101,6 +101,26 @@ class ResultCursor:
             return self._stream.metrics()
         return self._materialized.metrics
 
+    @property
+    def exchange_stats(self) -> Optional[Dict[str, int]]:
+        """Observed exchange traffic (dataflow engine; ``None`` otherwise).
+
+        Rows that physically moved between partitions, by exchange kind
+        (``shuffled`` / ``local`` / ``relocated`` / ``broadcast`` /
+        ``gathered``) -- the measured counterpart of the simulated
+        ``tuples_shuffled`` work counter.
+        """
+        if self._stream is not None:
+            return self._stream.exchange_stats
+        return self._materialized.exchange_stats
+
+    @property
+    def worker_busy(self) -> Optional[List[float]]:
+        """Per-worker busy CPU seconds (dataflow engine; ``None`` otherwise)."""
+        if self._stream is not None:
+            return self._stream.worker_busy
+        return self._materialized.worker_busy
+
     # -- metadata ---------------------------------------------------------------
     @property
     def report(self) -> Optional[OptimizationReport]:

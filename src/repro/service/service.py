@@ -125,17 +125,21 @@ class GraphService:
         timeout_seconds=_UNSET,
         max_intermediate_results=_UNSET,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> "Session":
         """Open a session with optional per-session execution overrides.
 
         Overrides default to the backend's configuration; they apply to every
         query the session runs without touching shared backend state.
+        ``workers`` sets the dataflow engine's worker-thread count for this
+        session (sessions of one service can run the same plans at different
+        parallelism).
         """
         from repro.service.session import Session
 
         return Session(self, engine=engine, timeout_seconds=timeout_seconds,
                        max_intermediate_results=max_intermediate_results,
-                       batch_size=batch_size)
+                       batch_size=batch_size, workers=workers)
 
     # -- plan cache ------------------------------------------------------------
     def cache_info(self) -> PlanCacheInfo:

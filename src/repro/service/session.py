@@ -16,10 +16,11 @@ class Session:
     """A lightweight client handle on a :class:`GraphService`.
 
     Sessions carry per-session execution overrides -- ``engine``,
-    ``timeout_seconds``, ``max_intermediate_results``, ``batch_size`` --
-    that apply to every query the session runs, without mutating the shared
-    backend.  Many sessions of one service can run concurrently; the
-    service's plan cache, optimizer and graph are all safe to share.
+    ``timeout_seconds``, ``max_intermediate_results``, ``batch_size``,
+    ``workers`` (dataflow engine thread count) -- that apply to every query
+    the session runs, without mutating the shared backend.  Many sessions of
+    one service can run concurrently; the service's plan cache, optimizer
+    and graph are all safe to share.
 
     Sessions are cheap: open one per logical client or unit of work, and
     ``close()`` (or use as a context manager) when done.
@@ -32,17 +33,20 @@ class Session:
         timeout_seconds=_UNSET,
         max_intermediate_results=_UNSET,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ):
-        from repro.backend.base import ENGINES
+        from repro.backend.base import validate_engine
 
-        if engine is not None and engine not in ENGINES:
-            raise GOptError("unknown engine %r (expected one of %s)"
-                            % (engine, list(ENGINES)))
+        if engine is not None:
+            validate_engine(engine)
+        if workers is not None and workers < 1:
+            raise GOptError("workers must be >= 1")
         self._service = service
         self._engine = engine
         self._timeout_seconds = timeout_seconds
         self._max_intermediate_results = max_intermediate_results
         self._batch_size = batch_size
+        self._workers = workers
         self._closed = False
 
     # -- properties -------------------------------------------------------------
@@ -54,6 +58,13 @@ class Session:
     def engine(self) -> str:
         """The effective execution engine (session override or backend default)."""
         return self._engine or self._service.backend.engine
+
+    @property
+    def workers(self) -> int:
+        """The effective dataflow worker count (override or backend default)."""
+        if self._workers is not None:
+            return self._workers
+        return self._service.backend.workers
 
     # -- lifecycle --------------------------------------------------------------
     def close(self) -> None:
@@ -141,6 +152,7 @@ class Session:
                 timeout_seconds=self._timeout_seconds,
                 max_intermediate_results=self._max_intermediate_results,
                 batch_size=self._batch_size,
+                workers=self._workers,
             )
         else:
             source = backend.execute(
@@ -150,6 +162,7 @@ class Session:
                 timeout_seconds=self._timeout_seconds,
                 max_intermediate_results=self._max_intermediate_results,
                 batch_size=self._batch_size,
+                workers=self._workers,
             )
         return ResultCursor(source, report=report)
 

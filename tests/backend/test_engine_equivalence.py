@@ -68,14 +68,20 @@ def _has_limit(op) -> bool:
 
 
 def assert_engines_agree(backend, physical_plan, label=""):
-    """Execute one plan with both engines; rows and counters must match.
+    """Execute one plan with every engine; rows and counters must match.
 
-    Also drains both streaming pipelines: identical rows always; identical
-    counters unless the plan has an early-exit Limit (streaming then does at
-    most the materializing engine's work).
+    Also drains both serial streaming pipelines: identical rows always;
+    identical counters unless the plan has an early-exit Limit (streaming
+    then does at most the materializing engine's work).  The dataflow engine
+    is additionally held to identical rows *and* counters on full drain --
+    including ``tuples_shuffled``, whose dataflow value is observed at real
+    exchanges rather than simulated (on budget overruns only the
+    ``timed_out`` flag is compared: parallel workers charge in a different
+    order, so the counters at the point of interruption differ).
     """
     row_result = backend.execute(physical_plan, engine="row")
     vec_result = backend.execute(physical_plan, engine="vectorized")
+    assert_dataflow_agrees(backend, physical_plan, row_result, label)
     assert row_result.timed_out == vec_result.timed_out, label
     assert row_result.rows == vec_result.rows, (
         "%s: engines disagree on rows (%d row-engine vs %d vectorized)"
@@ -106,6 +112,35 @@ def assert_engines_agree(backend, physical_plan, label=""):
                 assert streamed[counter] == reference[counter], (
                     "%s: %s streaming counter %s differs (stream=%s full=%s)"
                     % (label, engine, counter, streamed[counter], reference[counter]))
+
+
+def assert_dataflow_agrees(backend, physical_plan, row_result, label=""):
+    """The partition-parallel engine must replay the row engine exactly."""
+    df_result = backend.execute(physical_plan, engine="dataflow")
+    assert df_result.timed_out == row_result.timed_out, (
+        "%s: dataflow timed_out=%s, row engine timed_out=%s"
+        % (label, df_result.timed_out, row_result.timed_out))
+    df_stream = backend.execute_streaming(physical_plan, engine="dataflow")
+    df_streamed = list(df_stream)
+    if row_result.timed_out:
+        assert df_stream.timed_out or df_streamed == row_result.rows, label
+        return
+    assert df_result.rows == row_result.rows, (
+        "%s: dataflow disagrees on rows (%d vs %d row-engine)"
+        % (label, len(df_result.rows), len(row_result.rows)))
+    row_metrics = row_result.metrics.as_dict()
+    df_metrics = df_result.metrics.as_dict()
+    for counter in COMPARED_COUNTERS:
+        assert row_metrics[counter] == df_metrics[counter], (
+            "%s: counter %s differs (row=%s dataflow=%s)"
+            % (label, counter, row_metrics[counter], df_metrics[counter]))
+    assert df_streamed == row_result.rows, (
+        "%s: dataflow streaming disagrees on rows" % (label,))
+    streamed = df_stream.metrics().as_dict()
+    for counter in COMPARED_COUNTERS:
+        assert streamed[counter] == row_metrics[counter], (
+            "%s: dataflow streaming counter %s differs (stream=%s row=%s)"
+            % (label, counter, streamed[counter], row_metrics[counter]))
 
 
 @pytest.mark.parametrize("backend_kind", ["graphscope", "neo4j"])

@@ -81,6 +81,28 @@ class TestPartitioner:
         groups = partitioner.group_by_partition(range(30))
         assert sum(len(v) for v in groups.values()) == 30
 
+    def test_group_by_partition_include_empty_is_stable(self):
+        partitioner = GraphPartitioner(4)
+        # an empty input still yields one (empty) bucket per partition, in
+        # partition order, so "one task per partition" loops are stable
+        groups = partitioner.group_by_partition([], include_empty=True)
+        assert list(groups) == [0, 1, 2, 3]
+        assert all(ids == [] for ids in groups.values())
+        # default shape is unchanged: only populated partitions appear
+        assert partitioner.group_by_partition([]) == {}
+        some = partitioner.group_by_partition([7], include_empty=True)
+        assert list(some) == [0, 1, 2, 3]
+        assert sum(len(ids) for ids in some.values()) == 1
+
+    def test_skew_reports_max_over_mean(self):
+        partitioner = GraphPartitioner(4)
+        assert partitioner.skew([]) == 0.0
+        # large id range hashes roughly uniformly: skew near 1
+        assert 1.0 <= partitioner.skew(range(4000)) < 1.3
+        # every id on one partition: skew equals the partition count
+        lopsided = [vid for vid in range(400) if partitioner.partition_of(vid) == 2]
+        assert partitioner.skew(lopsided) == pytest.approx(4.0)
+
     def test_invalid_partition_count(self):
         with pytest.raises(ValueError):
             GraphPartitioner(0)

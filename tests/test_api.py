@@ -84,11 +84,12 @@ class TestFacade:
         assert row_rows == vec_rows
 
     def test_unknown_engine_rejected(self, social_graph):
-        with pytest.raises(ValueError):
+        with pytest.raises(GOptError, match="row.*vectorized.*dataflow"):
             GOpt.for_graph(social_graph, backend="neo4j", engine="turbo")
         gopt = GOpt.for_graph(social_graph, backend="neo4j")
-        with pytest.raises(GOptError):
+        with pytest.raises(GOptError, match="turbo"):
             gopt.engine = "turbo"
+        assert gopt.available_engines() == ("row", "vectorized", "dataflow")
 
     def test_unknown_language_rejected(self, gopt):
         with pytest.raises(GOptError):
