@@ -1,0 +1,43 @@
+"""Kernel-layer smoke benchmark: no silent interpreter-overhead regression.
+
+All five interpreters now route through the shared operator-kernel layer
+(``backend/runtime/kernels``).  This smoke run re-executes the row/vectorized
+engine comparison through the bench layer and asserts that the vectorized
+engine's relative cost stayed within noise of the pre-refactor baseline --
+the kernel indirection must not erase the columnar engine's advantage.
+
+Pre-refactor baseline on this suite (G30, IC+BI subset): vectorized/row
+runtime ratio ~0.93 on small graphs, ~0.66 on the larger scaling suite (see
+``test_bench_scaling_engines``); the asserted bound leaves headroom for
+timer noise on loaded CI runners, not for a structural regression.
+"""
+
+from repro.bench import experiments, format_table
+
+from bench_utils import run_once
+
+SMOKE_QUERIES = ("IC1", "IC2", "IC5", "IC9", "BI2", "BI9")
+
+#: pre-refactor vectorized/row ratio on this subset plus generous CI noise
+#: allowance -- a kernel-layer overhead regression shows up far above this
+RATIO_BOUND = 1.25
+
+
+def test_bench_kernel_layer_keeps_engine_ratio(benchmark, g30):
+    graph, glogue = g30
+    rows = run_once(benchmark, experiments.engine_comparison_experiment,
+                    graph, query_names=SMOKE_QUERIES, glogue=glogue)
+    print()
+    print(format_table(rows, title="Kernel-layer smoke: row vs vectorized (G30)"))
+    assert all(row["rows_match"] for row in rows)
+    completed = [r for r in rows if isinstance(r["row_seconds"], float)
+                 and isinstance(r["vectorized_seconds"], float)]
+    assert completed, "every smoke query timed out"
+    row_total = sum(r["row_seconds"] for r in completed)
+    vec_total = sum(r["vectorized_seconds"] for r in completed)
+    ratio = vec_total / row_total if row_total else 1.0
+    print("kernel-layer vectorized/row ratio: %.3f (bound %.2f)"
+          % (ratio, RATIO_BOUND))
+    assert ratio <= RATIO_BOUND, (
+        "kernel-layer refactor slowed the vectorized engine relative to the "
+        "row engine (ratio %.3f)" % ratio)

@@ -144,6 +144,17 @@ class StreamingResult:
         """Per-worker busy CPU seconds (dataflow engine only)."""
         return self._ctx.worker_busy
 
+    @property
+    def peak_held_rows(self) -> int:
+        """High-water mark of rows buffered by streaming pipeline breakers.
+
+        Incremental breaker states (top-k heaps, hash-join build sides,
+        aggregation groups) report how many rows they held at their peak --
+        the observable proof that e.g. ``ORDER BY .. LIMIT k`` streams in
+        bounded memory instead of materializing its input.
+        """
+        return self._ctx.peak_held_rows
+
     def metrics(self) -> ExecutionMetrics:
         """Work and time measurements of the execution *so far*."""
         counters = self._ctx.counters
@@ -334,8 +345,12 @@ class Backend:
         Rows are produced on demand by the streaming interpreters
         (:mod:`repro.backend.runtime.streaming`): a consumer that stops early
         (``LIMIT``, cursor close) never pays for the rows it does not pull.
-        Work counters and the time/intermediate budget are enforced
-        incrementally as rows are pulled.  The dataflow engine instead starts
+        Pipeline breakers execute incrementally -- hash joins stream their
+        probe side, aggregations fold into group state, ``ORDER BY .. LIMIT``
+        keeps a bounded top-k heap -- so no operator materializes more than
+        it must (see :attr:`StreamingResult.peak_held_rows`).  Work counters
+        and the time/intermediate budget are enforced incrementally as rows
+        are pulled.  The dataflow engine instead starts
         its worker pipelines in the background immediately -- rows become
         available after the final gather, and an early close cancels the
         in-flight workers and drains their channels.

@@ -1,10 +1,17 @@
-"""Shared runtime pieces: binding values, execution context and interpreters."""
+"""Shared runtime pieces: binding values, execution context and interpreters.
 
+All interpreters are thin adapters over the operator-kernel layer
+(:mod:`repro.backend.runtime.kernels`); importing this package registers
+every engine's kernels with the central registry.
+"""
+
+from repro.backend.runtime import kernels
 from repro.backend.runtime.binding import ERef, PRef, VRef
 from repro.backend.runtime.columnar import MISSING, ColumnBatch, OverlayBinding, RowCursor
 from repro.backend.runtime.context import ExecutionContext
 from repro.backend.runtime.dataflow import execute_dataflow
 from repro.backend.runtime.operators import execute_operator
+from repro.backend.runtime.streaming import stream_batches, stream_result_rows, stream_rows
 from repro.backend.runtime.vectorized import execute_vectorized
 
 __all__ = [
@@ -15,6 +22,10 @@ __all__ = [
     "execute_operator",
     "execute_vectorized",
     "execute_dataflow",
+    "kernels",
+    "stream_batches",
+    "stream_result_rows",
+    "stream_rows",
     "ColumnBatch",
     "RowCursor",
     "OverlayBinding",

@@ -72,6 +72,19 @@ class ExecutionContext:
         # dataflow worker forks report intermediates to a shared budget
         # instead of enforcing a local one (see ``fork``)
         self._budget_hook = None
+        # dataflow workers run the shared operator kernels with simulated
+        # shuffle charging off: the exchange that physically routes their
+        # output charges the observed communication instead
+        self.simulate_shuffles = True
+        # high-water mark of rows buffered by streaming pipeline-breaker
+        # states (top-k heaps, join build sides, aggregation groups) -- the
+        # observable proof that incremental breakers are bounded-memory
+        self.peak_held_rows = 0
+        # ids of plan operators referenced by more than one parent
+        # (ComSubPattern); the streaming dispatchers materialize these once
+        # through the operator cache instead of streaming them per parent.
+        # Populated from the plan root by ``stream_result_rows``.
+        self.shared_op_ids = frozenset()
         # optional cancellation probe, called wherever the deadline is
         # checked; the dataflow engine uses it so an early cursor close
         # interrupts driver-side operators at the same granularity as the
@@ -133,6 +146,11 @@ class ExecutionContext:
         child._budget_hook = budget_hook
         return child
 
+    def note_held_rows(self, count: int) -> None:
+        """Record the current buffered-row count of a streaming operator state."""
+        if count > self.peak_held_rows:
+            self.peak_held_rows = count
+
     def check_deadline(self) -> None:
         if self.cancel_check is not None:
             self.cancel_check()
@@ -151,7 +169,7 @@ class ExecutionContext:
     # -- shuffle accounting ---------------------------------------------------------
     def charge_shuffle_between(self, src_vertex: int, dst_vertex: int, rows: int = 1) -> None:
         """Count a shuffle when two vertices live on different partitions."""
-        if self.partitioner is None:
+        if self.partitioner is None or not self.simulate_shuffles:
             return
         if not self.partitioner.is_local(src_vertex, dst_vertex):
             self.counters.tuples_shuffled += rows

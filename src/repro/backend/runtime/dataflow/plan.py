@@ -3,8 +3,10 @@
 The dataflow engine executes a physical plan as an alternation of
 
 * **parallel segments** -- maximal single-input chains of operators with a
-  worker kernel (:data:`~repro.backend.runtime.dataflow.steps.STEP_KERNELS`),
-  compiled into per-partition pipelines connected by exchange operators; and
+  dataflow kernel registered in
+  :mod:`repro.backend.runtime.kernels.registry` (see
+  :mod:`repro.backend.runtime.dataflow.steps`), compiled into per-partition
+  pipelines connected by exchange operators; and
 * **driver operators** -- pipeline breakers (Sort, Aggregate, HashJoin,
   Limit, Dedup, Union) interpreted at the driver by the serial row-engine
   handlers over the gathered segment outputs.
@@ -26,12 +28,13 @@ are exactly the rows the simulated cost model counts.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import repro.backend.runtime.dataflow.steps  # noqa: F401 - registers kernels
 from repro.backend.runtime.dataflow.exchange import ExchangeSpec
-from repro.backend.runtime.dataflow.steps import STEP_KERNELS
+from repro.backend.runtime.kernels import registry
+from repro.backend.runtime.kernels.common import plan_refcounts
 from repro.gir.expressions import TagRef
 from repro.optimizer.physical_plan import (
     ExpandEdge,
@@ -43,22 +46,19 @@ from repro.optimizer.physical_plan import (
     ScanVertex,
 )
 
+__all__ = [
+    "Pipeline",
+    "SegmentPlan",
+    "StepSpec",
+    "build_pipelines",
+    "extract_segment",
+    "plan_refcounts",
+]
 
-def plan_refcounts(root: PhysicalOperator) -> Dict[int, int]:
-    """How many parents reference each operator node (shared subtrees > 1)."""
-    counts: Counter = Counter()
-    stack = [root]
-    seen = set()
-    counts[id(root)] += 1
-    while stack:
-        node = stack.pop()
-        if id(node) in seen:
-            continue
-        seen.add(id(node))
-        for child in node.inputs:
-            counts[id(child)] += 1
-            stack.append(child)
-    return dict(counts)
+
+def _parallelizable(op: PhysicalOperator) -> bool:
+    """Whether the dataflow engine has a partition-parallel kernel for ``op``."""
+    return registry.has_kernel(registry.MODE_DATAFLOW, type(op))
 
 
 @dataclass
@@ -111,17 +111,17 @@ def extract_segment(op: PhysicalOperator,
                     refcounts: Dict[int, int]) -> Optional[SegmentPlan]:
     """The maximal parallel segment rooted at ``op``, or None.
 
-    The chain extends downward through operators with a worker kernel as
-    long as the link is private (interior nodes referenced by exactly one
-    parent -- a shared subtree must materialize once, so it becomes the
-    segment's scatter source instead).
+    The chain extends downward through operators with a registered dataflow
+    kernel as long as the link is private (interior nodes referenced by
+    exactly one parent -- a shared subtree must materialize once, so it
+    becomes the segment's scatter source instead).
     """
-    if type(op) not in STEP_KERNELS:
+    if not _parallelizable(op):
         return None
     chain: List[PhysicalOperator] = []
     node: Optional[PhysicalOperator] = op
     source: Optional[PhysicalOperator] = None
-    while node is not None and type(node) in STEP_KERNELS and (
+    while node is not None and _parallelizable(node) and (
             node is op or refcounts.get(id(node), 1) == 1):
         chain.append(node)
         if isinstance(node, ScanVertex):

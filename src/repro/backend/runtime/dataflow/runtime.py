@@ -50,12 +50,10 @@ from repro.backend.runtime.dataflow.plan import (
     extract_segment,
     plan_refcounts,
 )
-from repro.backend.runtime.dataflow.steps import STEP_KERNELS, charge_outputs
-from repro.backend.runtime.operators import (
-    Row,
-    _merge_rows,
-    execute_operator,
-)
+from repro.backend.runtime.dataflow.steps import charge_outputs
+from repro.backend.runtime.kernels import registry
+from repro.backend.runtime.kernels.common import Row, merge_rows
+from repro.backend.runtime.operators import execute_operator
 from repro.errors import ExecutionTimeout
 from repro.graph.partition import GraphPartitioner
 from repro.optimizer.physical_plan import HashJoin, PhysicalOperator
@@ -117,6 +115,9 @@ class _Actor:
         # kernels probe this wherever they would check the deadline, so a
         # cancellation lands mid-kernel instead of at the next morsel
         self.fork.cancel_check = runner.executor._check_cancelled
+        # the shared kernels charge simulated shuffles inline; in a worker
+        # the exchange charges the observed communication instead
+        self.fork.simulate_shuffles = False
         self.source_items = source_items
         self.source_offset = 0
         self.in_channel = in_channel
@@ -176,7 +177,7 @@ class _Actor:
     def _process(self, chunk: List) -> List[Pair]:
         data = chunk
         for spec in self.pipeline.steps:
-            kernel = STEP_KERNELS[type(spec.op)]
+            kernel = registry.kernel_for(registry.MODE_DATAFLOW, type(spec.op))
             data = kernel(spec.op, self.fork, data)
             charge_outputs(self.fork, data)
             if not data:
@@ -505,7 +506,7 @@ class DataflowExecutor:
             for seq, row in partitions[partition]:
                 key = tuple(row.get(k) for k in op.keys)
                 for position, build in enumerate(index.get(key, ())):
-                    merged = _merge_rows(build, row)
+                    merged = merge_rows(build, row)
                     if merged is not None:
                         out.append((seq + (position,), merged))
 

@@ -1,47 +1,51 @@
 """Per-operator worker kernels for the partition-parallel dataflow engine.
 
-Each kernel transforms a chunk of (lineage, row) pairs exactly as the serial
-row engine (:mod:`repro.backend.runtime.operators`) transforms its binding
-table, charging the same work counters into the worker's forked execution
-context.  Output lineage appends one index per produced row to the input
-row's lineage, so sorting the union of all partitions' outputs by lineage
-reproduces the serial engine's row order bit-for-bit.
+Each step transforms a chunk of (lineage, row) pairs by driving the shared
+per-row operator kernels (:mod:`repro.backend.runtime.kernels.rowwise`) --
+the same semantic bodies the serial row engine interprets -- through a
+lineage-tracking sink.  Output lineage appends one index per produced row to
+the input row's lineage, so sorting the union of all partitions' outputs by
+lineage reproduces the serial engine's row order bit-for-bit.
 
-Two deliberate differences from the serial code:
+Two deliberate differences from the serial drivers:
 
-* kernels never call ``charge_shuffle_between`` -- communication is charged
-  by the *exchange* that physically routes the produced rows (the observed
+* worker forks run with ``ctx.simulate_shuffles`` off, so the kernels'
+  ``charge_shuffle_between`` calls are inert -- communication is charged by
+  the *exchange* that physically routes the produced rows (the observed
   count equals the simulated one because a row is always co-located with
   the expansion's anchor when the kernel runs);
-* kernels charge intermediates and cells per processed chunk instead of per
+* steps charge intermediates and cells per processed chunk instead of per
   whole operator, so the shared budget sees overruns early.  The totals are
   identical.
+
+Pipeline breakers (Sort, Aggregate, HashJoin, Limit, Dedup, Union) are
+declared registry fallbacks: the driver interprets them through the serial
+row engine over gathered rows.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.backend.runtime.binding import ERef, PRef, VRef
 from repro.backend.runtime.context import ExecutionContext
 from repro.backend.runtime.dataflow.channel import Pair
-from repro.backend.runtime.operators import (
-    _edge_matches,
-    _retrieve_properties,
-    _vertex_matches,
-)
-from repro.gir.expressions import TagRef
-from repro.gir.pattern import PathConstraint
+from repro.backend.runtime.kernels import registry, rowwise
+from repro.backend.runtime.kernels.common import Row
 from repro.optimizer.physical_plan import (
+    Aggregate,
     AllDifferent,
+    Dedup,
     ExpandEdge,
     ExpandInto,
     ExpandIntersect,
     Filter,
+    HashJoin,
+    Limit,
     PathExpand,
     Project,
     ScanVertex,
+    Sort,
+    Union,
 )
 
 
@@ -51,6 +55,43 @@ def charge_outputs(ctx: ExecutionContext, pairs: List[Pair]) -> None:
         return
     ctx.counters.cells_produced += sum(len(row) for _, row in pairs)
     ctx.charge_intermediate(len(pairs))
+
+
+class _PairSink:
+    """Lineage-tracking sink: emission i of an input row extends its lineage."""
+
+    __slots__ = ("out", "seq", "base", "emitted")
+
+    def __init__(self):
+        self.out: List[Pair] = []
+        self.seq: Tuple[int, ...] = ()
+        self.base: Row = {}
+        self.emitted = 0
+
+    def emit(self, delta) -> None:
+        if delta:
+            row = dict(self.base)
+            row.update(delta)
+        else:
+            row = self.base
+        self.out.append((self.seq + (self.emitted,), row))
+        self.emitted += 1
+
+    def emit_row(self, row: Row) -> None:
+        self.out.append((self.seq + (self.emitted,), row))
+        self.emitted += 1
+
+
+class _SingleRowCatcher:
+    """Scan sink: captures the at-most-one row a vertex probe emits."""
+
+    __slots__ = ("row",)
+
+    def __init__(self):
+        self.row: Optional[Row] = None
+
+    def emit_row(self, row: Row) -> None:
+        self.row = row
 
 
 def scan_kernel(op: ScanVertex, ctx: ExecutionContext,
@@ -64,198 +105,50 @@ def scan_kernel(op: ScanVertex, ctx: ExecutionContext,
     out: List[Pair] = []
     if op.constraint.is_empty:
         return out
+    process = rowwise.scan_vertex(op, ctx)
+    catcher = _SingleRowCatcher()
     for index, vid in split:
-        ctx.counters.vertices_scanned += 1
-        if _vertex_matches(ctx, vid, op.constraint, op.predicates, op.tag):
-            _retrieve_properties(ctx, vid, op.columns)
-            out.append(((index,), {op.tag: VRef(vid)}))
+        catcher.row = None
+        process(vid, catcher)
+        if catcher.row is not None:
+            out.append(((index,), catcher.row))
     return out
 
 
-def expand_edge_kernel(op: ExpandEdge, ctx: ExecutionContext,
-                       pairs: List[Pair]) -> List[Pair]:
-    out: List[Pair] = []
-    for seq, row in pairs:
-        anchor = row.get(op.anchor_tag)
-        if not isinstance(anchor, VRef):
-            continue
-        adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-        ctx.counters.edges_traversed += len(adjacent)
-        emitted = 0
-        for eid, other in adjacent:
-            if not _vertex_matches(ctx, other, op.target_constraint,
-                                   op.target_predicates, op.target_tag, row):
-                continue
-            if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, row):
-                continue
-            _retrieve_properties(ctx, other, op.target_columns)
-            new_row = dict(row)
-            new_row[op.edge_tag] = ERef(eid)
-            new_row[op.target_tag] = VRef(other)
-            out.append((seq + (emitted,), new_row))
-            emitted += 1
-        ctx.check_deadline()
-    return out
+def _chunk_kernel(factory):
+    """Drive a per-row kernel over a chunk of lineage-tagged rows."""
 
-
-def expand_into_kernel(op: ExpandInto, ctx: ExecutionContext,
-                       pairs: List[Pair]) -> List[Pair]:
-    out: List[Pair] = []
-    for seq, row in pairs:
-        anchor = row.get(op.anchor_tag)
-        target = row.get(op.target_tag)
-        if not isinstance(anchor, VRef) or not isinstance(target, VRef):
-            continue
-        adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-        ctx.counters.edges_traversed += len(adjacent)
-        emitted = 0
-        for eid, other in adjacent:
-            if other != target.id:
-                continue
-            if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, row):
-                continue
-            new_row = dict(row)
-            new_row[op.edge_tag] = ERef(eid)
-            out.append((seq + (emitted,), new_row))
-            emitted += 1
-        ctx.check_deadline()
-    return out
-
-
-def expand_intersect_kernel(op: ExpandIntersect, ctx: ExecutionContext,
-                            pairs: List[Pair]) -> List[Pair]:
-    out: List[Pair] = []
-    for seq, row in pairs:
-        candidate_sets: List[Dict[int, List[int]]] = []
-        valid = True
-        for branch in op.branches:
-            anchor = row.get(branch.anchor_tag)
-            if not isinstance(anchor, VRef):
-                valid = False
-                break
-            adjacent = ctx.graph.adjacent_edges(anchor.id, branch.direction,
-                                                branch.edge_constraint)
-            ctx.counters.edges_traversed += len(adjacent)
-            per_vertex: Dict[int, List[int]] = {}
-            for eid, other in adjacent:
-                if _edge_matches(ctx, eid, branch.edge_predicates, branch.edge_tag, row):
-                    per_vertex.setdefault(other, []).append(eid)
-            candidate_sets.append(per_vertex)
-        if not valid or not candidate_sets:
-            continue
-        intersection = set(candidate_sets[0])
-        for per_vertex in candidate_sets[1:]:
-            intersection &= set(per_vertex)
-        emitted = 0
-        for target_vid in intersection:
-            if not _vertex_matches(ctx, target_vid, op.target_constraint,
-                                   op.target_predicates, op.target_tag, row):
-                continue
-            _retrieve_properties(ctx, target_vid, op.target_columns)
-            edge_lists = [per_vertex[target_vid] for per_vertex in candidate_sets]
-            for combination in itertools.product(*edge_lists):
-                new_row = dict(row)
-                new_row[op.target_tag] = VRef(target_vid)
-                for branch, eid in zip(op.branches, combination):
-                    new_row[branch.edge_tag] = ERef(eid)
-                out.append((seq + (emitted,), new_row))
-                emitted += 1
-        ctx.check_deadline()
-    return out
-
-
-def path_expand_kernel(op: PathExpand, ctx: ExecutionContext,
-                       pairs: List[Pair]) -> List[Pair]:
-    out: List[Pair] = []
-    for seq, row in pairs:
-        anchor = row.get(op.anchor_tag)
-        if not isinstance(anchor, VRef):
-            continue
-        bound_target = row.get(op.target_tag) if op.closes else None
-        emitted = 0
-        frontier: List[Tuple[Tuple[int, ...], Tuple[int, ...], int]] = [
-            ((), (anchor.id,), anchor.id)]
-        for hop in range(1, op.max_hops + 1):
-            next_frontier: List[Tuple[Tuple[int, ...], Tuple[int, ...], int]] = []
-            for path_edges, visited, current in frontier:
-                adjacent = ctx.graph.adjacent_edges(current, op.direction, op.edge_constraint)
-                ctx.counters.edges_traversed += len(adjacent)
-                for eid, other in adjacent:
-                    if op.path_constraint is PathConstraint.SIMPLE and other in visited:
-                        continue
-                    if op.path_constraint is PathConstraint.TRAIL and eid in path_edges:
-                        continue
-                    next_frontier.append((path_edges + (eid,), visited + (other,), other))
-            frontier = next_frontier
-            ctx.charge_intermediate(len(frontier))
-            if hop >= op.min_hops:
-                for path_edges, visited, current in frontier:
-                    if op.closes:
-                        if isinstance(bound_target, VRef) and current == bound_target.id:
-                            new_row = dict(row)
-                            new_row[op.path_tag] = PRef(path_edges, current)
-                            out.append((seq + (emitted,), new_row))
-                            emitted += 1
-                    else:
-                        if not _vertex_matches(ctx, current, op.target_constraint,
-                                               op.target_predicates, op.target_tag, row):
-                            continue
-                        _retrieve_properties(ctx, current, op.target_columns)
-                        new_row = dict(row)
-                        new_row[op.path_tag] = PRef(path_edges, current)
-                        new_row[op.target_tag] = VRef(current)
-                        out.append((seq + (emitted,), new_row))
-                        emitted += 1
-            if not frontier:
-                break
-        ctx.check_deadline()
-    return out
-
-
-def filter_kernel(op: Filter, ctx: ExecutionContext, pairs: List[Pair]) -> List[Pair]:
-    evaluate = ctx.evaluator.evaluate
-    return [(seq + (0,), row) for seq, row in pairs if evaluate(op.predicate, row)]
-
-
-def project_kernel(op: Project, ctx: ExecutionContext, pairs: List[Pair]) -> List[Pair]:
-    evaluate = ctx.evaluator.evaluate
-    out: List[Pair] = []
-    if not op.append and all(isinstance(item.expr, TagRef) for item in op.items):
-        mapping = [(item.alias, item.expr.tag) for item in op.items]
+    def kernel(op, ctx: ExecutionContext, pairs: List[Pair]) -> List[Pair]:
+        process = factory(op, ctx)
+        sink = _PairSink()
         for seq, row in pairs:
-            out.append((seq + (0,), {alias: row.get(tag) for alias, tag in mapping}))
-        return out
-    for seq, row in pairs:
-        values = {item.alias: evaluate(item.expr, row) for item in op.items}
-        if op.append:
-            new_row = dict(row)
-            new_row.update(values)
-        else:
-            new_row = values
-        out.append((seq + (0,), new_row))
-    return out
+            sink.seq = seq
+            sink.base = row
+            sink.emitted = 0
+            process(row, sink)
+        return sink.out
+
+    return kernel
 
 
-def all_different_kernel(op: AllDifferent, ctx: ExecutionContext,
-                         pairs: List[Pair]) -> List[Pair]:
-    out: List[Pair] = []
-    for seq, row in pairs:
-        values = [row.get(tag) for tag in op.tags if row.get(tag) is not None]
-        if len(values) == len(set(values)):
-            out.append((seq + (0,), row))
-    return out
+# the operators the dataflow engine executes partition-parallel; everything
+# else is a declared fallback below (the registry completeness test keeps
+# this split exhaustive as operators are added)
+registry.register_kernel(registry.MODE_DATAFLOW, ScanVertex, scan_kernel)
+for _op_type, _factory in (
+    (ExpandEdge, rowwise.expand_edge),
+    (ExpandInto, rowwise.expand_into),
+    (ExpandIntersect, rowwise.expand_intersect),
+    (PathExpand, rowwise.path_expand),
+    (Filter, rowwise.filter_rows),
+    (Project, rowwise.project_rows),
+    (AllDifferent, rowwise.all_different),
+):
+    registry.register_kernel(registry.MODE_DATAFLOW, _op_type,
+                             _chunk_kernel(_factory))
 
-
-#: physical operators the dataflow engine executes partition-parallel;
-#: everything else (Sort, Aggregate, HashJoin, Limit, Dedup, Union) is a
-#: pipeline breaker executed at the driver over gathered rows
-STEP_KERNELS = {
-    ScanVertex: scan_kernel,
-    ExpandEdge: expand_edge_kernel,
-    ExpandInto: expand_into_kernel,
-    ExpandIntersect: expand_intersect_kernel,
-    PathExpand: path_expand_kernel,
-    Filter: filter_kernel,
-    Project: project_kernel,
-    AllDifferent: all_different_kernel,
-}
+for _op_type in (Sort, Aggregate, HashJoin, Limit, Dedup, Union):
+    registry.register_fallback(
+        registry.MODE_DATAFLOW, _op_type,
+        "pipeline breaker: interpreted at the driver by the serial row "
+        "engine over gathered rows")

@@ -1,0 +1,182 @@
+"""Shared semantic helpers of the operator-kernel layer.
+
+These are the single authoritative implementations of the value-level
+semantics every execution engine must agree on:
+
+* :func:`vertex_matches` / :func:`edge_matches` -- predicate probing for a
+  candidate graph element on top of an existing binding;
+* :func:`retrieve_properties` -- the property-retrieval cost accounting that
+  FieldTrim optimizes (the retrieved values themselves are never needed by
+  the interpreters: the evaluator reads the graph lazily);
+* :func:`hashable` / :func:`row_key` -- dedup keys for arbitrary binding
+  values and whole rows;
+* :func:`sort_key` -- the mixed-type total order used by Sort;
+* :func:`merge_rows` -- the consistency-checked row merge of HashJoin;
+* :func:`plan_refcounts` / :func:`shared_subtree_ids` -- plan-sharing
+  analysis (ComSubPattern subtrees that must materialize exactly once).
+
+Before the kernel layer existed, each of the five interpreters (row,
+vectorized, both streaming pipelines, dataflow workers) carried its own copy
+of these helpers; any engine-specific representation concern is now handled
+by the thin adapters in the interpreter modules instead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Set
+
+from repro.backend.runtime.binding import ERef, VRef
+from repro.backend.runtime.columnar import MISSING, OverlayBinding
+from repro.errors import ExecutionError
+from repro.gir.operators import AggregateFunction
+
+#: A binding table row.  The row engines use plain dicts; the columnar
+#: engines use cursor views -- kernels only rely on ``.get`` / ``.items``.
+Row = Dict[str, object]
+
+
+# -- element matching ---------------------------------------------------------------
+
+def vertex_matches(ctx, vid: int, constraint, predicates, tag: str,
+                   binding=None) -> bool:
+    """Whether vertex ``vid`` satisfies the type constraint and predicates.
+
+    ``binding`` is the row the candidate would extend (``None`` for scans);
+    predicates are evaluated against the binding overlaid with ``tag`` bound
+    to the candidate, without copying the row.
+    """
+    if not constraint.contains(ctx.graph.vertex_type(vid)):
+        return False
+    if predicates:
+        probe = OverlayBinding(binding, {tag: VRef(vid)})
+        for predicate in predicates:
+            if not ctx.evaluator.evaluate(predicate, probe):
+                return False
+    return True
+
+
+def edge_matches(ctx, eid: int, predicates, tag: str, binding) -> bool:
+    """Whether edge ``eid`` satisfies the edge predicates on top of ``binding``."""
+    if not predicates:
+        return True
+    probe = OverlayBinding(binding, {tag: ERef(eid)})
+    for predicate in predicates:
+        if not ctx.evaluator.evaluate(predicate, probe):
+            return False
+    return True
+
+
+def retrieve_properties(ctx, vid: int, columns) -> None:
+    """Account the property retrieval for a newly bound vertex.
+
+    Real backends materialise the requested properties of every matched
+    vertex (all of them unless FieldTrim narrowed the COLUMNS).  The values
+    are not needed here, but charging the retrieval reproduces the cost
+    FieldTrim saves.
+    """
+    properties = ctx.graph.vertex_properties(vid)
+    if columns is None:
+        retrieved = len(properties)
+    elif columns:
+        retrieved = sum(1 for key in columns if key in properties)
+    else:
+        retrieved = 0
+    ctx.counters.cells_produced += retrieved
+
+
+# -- value-level semantics ----------------------------------------------------------
+
+def hashable(value):
+    """A hashable stand-in for a binding value (dedup/join keys)."""
+    if isinstance(value, (list, set)):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+def row_key(binding):
+    """Whole-row dedup key: present cells only, sorted by tag.
+
+    Works for dict rows and cursor views alike -- ``items()`` yields only
+    the cells the row actually has.
+    """
+    return tuple(sorted((tag, hashable(value)) for tag, value in binding.items()))
+
+
+def sort_key(value):
+    """Total order over mixed-type values: None first, then by type, then value."""
+    if value is None:
+        return (0, "", "")
+    if isinstance(value, bool):
+        return (1, "bool", value)
+    if isinstance(value, (int, float)):
+        return (1, "number", value)
+    return (2, type(value).__name__, str(value))
+
+
+def normalized_column(batch, tag: str):
+    """The column for ``tag`` with MISSING surfaced as None (``row.get`` view)."""
+    column = batch.columns.get(tag)
+    if column is None:
+        return [None] * batch.num_rows
+    return [None if value is MISSING else value for value in column]
+
+
+def merge_rows(left: Row, right: Row) -> Optional[Row]:
+    """Merge two rows; ``None`` when a shared tag binds conflicting values."""
+    merged = dict(left)
+    for tag, value in right.items():
+        if tag in merged and merged[tag] != value:
+            return None
+        merged[tag] = value
+    return merged
+
+
+def aggregate_function_supported(function) -> bool:
+    return function in _SUPPORTED_AGGREGATES
+
+
+_SUPPORTED_AGGREGATES = frozenset((
+    AggregateFunction.COUNT,
+    AggregateFunction.COUNT_DISTINCT,
+    AggregateFunction.COLLECT,
+    AggregateFunction.SUM,
+    AggregateFunction.MIN,
+    AggregateFunction.MAX,
+    AggregateFunction.AVG,
+))
+
+
+def unknown_aggregate(function) -> ExecutionError:
+    return ExecutionError("unknown aggregate function %r" % (function,))
+
+
+# -- plan-sharing analysis ----------------------------------------------------------
+
+def plan_refcounts(root) -> Dict[int, int]:
+    """How many parents reference each operator node (shared subtrees > 1)."""
+    counts: Counter = Counter()
+    stack = [root]
+    seen = set()
+    counts[id(root)] += 1
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        for child in node.inputs:
+            counts[id(child)] += 1
+            stack.append(child)
+    return dict(counts)
+
+
+def shared_subtree_ids(root) -> Set[int]:
+    """ids of operators referenced by more than one parent.
+
+    A shared subtree (the ComSubPattern rewrite) must execute exactly once
+    per plan run; the streaming dispatchers materialize such nodes through
+    the operator cache instead of streaming them twice.
+    """
+    return {op_id for op_id, count in plan_refcounts(root).items() if count > 1}

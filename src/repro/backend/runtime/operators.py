@@ -1,24 +1,30 @@
-"""Interpreter for physical plans: one function per physical operator.
+"""Materializing row interpreter: thin adapters over the operator kernels.
 
-The interpreter is deliberately straightforward -- a binding table (list of
-dicts) flows through the operator tree -- because what the experiments measure
-is the *relative* work different plans do, which the work counters capture
-(rows produced, edges traversed, tuples shuffled).  Operator results are
-cached per operator instance so that a subtree shared between two branches
-(the ComSubPattern rewrite) is executed once.
+A binding table (list of dicts) flows through the operator tree.  The
+operator *semantics* -- matching, expansion, join/aggregate/sort behavior,
+work-counter charging -- live in :mod:`repro.backend.runtime.kernels`; this
+module only supplies the row-mode representation: per-row kernels write dict
+rows through a list sink, stateful kernels are driven eagerly over fully
+materialized inputs.  Operator results are cached per operator instance so a
+subtree shared between two branches (the ComSubPattern rewrite) executes
+once.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
-from repro.backend.runtime.binding import ERef, PRef, VRef
 from repro.backend.runtime.context import ExecutionContext
+from repro.backend.runtime.kernels import registry, rowwise
+from repro.backend.runtime.kernels.common import Row
+from repro.backend.runtime.kernels.sinks import RowListSink
+from repro.backend.runtime.kernels.state import (
+    DistinctState,
+    aggregate_rows,
+    hash_join_rows,
+    sort_permutation,
+)
 from repro.errors import ExecutionError
-from repro.gir.operators import AggregateFunction
-from repro.gir.pattern import PathConstraint
-from repro.graph.types import Direction
 from repro.optimizer.physical_plan import (
     Aggregate,
     AllDifferent,
@@ -37,7 +43,7 @@ from repro.optimizer.physical_plan import (
     Union,
 )
 
-Row = Dict[str, object]
+__all__ = ["Row", "execute_operator"]
 
 
 def execute_operator(op: PhysicalOperator, ctx: ExecutionContext) -> List[Row]:
@@ -46,7 +52,7 @@ def execute_operator(op: PhysicalOperator, ctx: ExecutionContext) -> List[Row]:
     if cached is not None:
         return cached
     ctx.counters.operators_executed += 1
-    handler = _HANDLERS.get(type(op))
+    handler = registry.kernel_for(registry.MODE_ROW, type(op))
     if handler is None:
         raise ExecutionError("no interpreter for physical operator %r" % (op.name,))
     rows = handler(op, ctx)
@@ -63,356 +69,52 @@ def _child_rows(op: PhysicalOperator, ctx: ExecutionContext, index: int = 0) -> 
     return execute_operator(op.inputs[index], ctx)
 
 
-def _retrieve_properties(ctx: ExecutionContext, vid: int, columns) -> None:
-    """Simulate property retrieval for a newly bound vertex.
-
-    Real backends materialise the requested properties of every matched vertex
-    (all of them unless FieldTrim narrowed the COLUMNS).  The retrieved values
-    are not needed by the interpreter (the evaluator reads the graph lazily),
-    but performing and accounting the retrieval reproduces the cost FieldTrim
-    saves.
-    """
-    properties = ctx.graph.vertex_properties(vid)
-    if columns is None:
-        retrieved = dict(properties)
-    elif columns:
-        retrieved = {key: properties[key] for key in columns if key in properties}
-    else:
-        retrieved = {}
-    ctx.counters.cells_produced += len(retrieved)
-
-
-def _vertex_matches(ctx: ExecutionContext, vid: int, constraint, predicates, tag: str,
-                    row: Optional[Row] = None) -> bool:
-    if not constraint.contains(ctx.graph.vertex_type(vid)):
-        return False
-    if predicates:
-        probe = dict(row) if row else {}
-        probe[tag] = VRef(vid)
-        for predicate in predicates:
-            if not ctx.evaluator.evaluate(predicate, probe):
-                return False
-    return True
-
-
-def _edge_matches(ctx: ExecutionContext, eid: int, predicates, tag: str, row: Row) -> bool:
-    if not predicates:
-        return True
-    probe = dict(row)
-    probe[tag] = ERef(eid)
-    for predicate in predicates:
-        if not ctx.evaluator.evaluate(predicate, probe):
-            return False
-    return True
-
-
-# -- graph operators ---------------------------------------------------------------
-
 def _execute_scan(op: ScanVertex, ctx: ExecutionContext) -> List[Row]:
-    rows: List[Row] = []
+    sink = RowListSink()
     if op.constraint.is_empty:
-        return rows
+        return sink.rows
+    process = rowwise.scan_vertex(op, ctx)
     for vid in ctx.graph.vertices_of_type(op.constraint):
-        ctx.counters.vertices_scanned += 1
-        if _vertex_matches(ctx, vid, op.constraint, op.predicates, op.tag):
-            _retrieve_properties(ctx, vid, op.columns)
-            rows.append({op.tag: VRef(vid)})
-    ctx.charge_intermediate(len(rows))
-    return rows
+        process(vid, sink)
+    ctx.charge_intermediate(len(sink.rows))
+    return sink.rows
 
 
-def _execute_expand_edge(op: ExpandEdge, ctx: ExecutionContext) -> List[Row]:
-    rows: List[Row] = []
-    for row in _child_rows(op, ctx):
-        anchor = row.get(op.anchor_tag)
-        if not isinstance(anchor, VRef):
-            continue
-        adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-        ctx.counters.edges_traversed += len(adjacent)
-        for eid, other in adjacent:
-            if not _vertex_matches(ctx, other, op.target_constraint, op.target_predicates,
-                                   op.target_tag, row):
-                continue
-            if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, row):
-                continue
-            _retrieve_properties(ctx, other, op.target_columns)
-            new_row = dict(row)
-            new_row[op.edge_tag] = ERef(eid)
-            new_row[op.target_tag] = VRef(other)
-            ctx.charge_shuffle_between(anchor.id, other)
-            rows.append(new_row)
-        ctx.check_deadline()
-    ctx.charge_intermediate(len(rows))
-    return rows
+def _rowwise_handler(factory):
+    """Drive a per-row kernel over the materialized child table."""
 
+    def handler(op: PhysicalOperator, ctx: ExecutionContext) -> List[Row]:
+        process = factory(op, ctx)
+        sink = RowListSink()
+        for row in _child_rows(op, ctx):
+            sink.base = row
+            process(row, sink)
+        ctx.charge_intermediate(len(sink.rows))
+        return sink.rows
 
-def _execute_expand_into(op: ExpandInto, ctx: ExecutionContext) -> List[Row]:
-    rows: List[Row] = []
-    for row in _child_rows(op, ctx):
-        anchor = row.get(op.anchor_tag)
-        target = row.get(op.target_tag)
-        if not isinstance(anchor, VRef) or not isinstance(target, VRef):
-            continue
-        adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-        ctx.counters.edges_traversed += len(adjacent)
-        for eid, other in adjacent:
-            if other != target.id:
-                continue
-            if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, row):
-                continue
-            new_row = dict(row)
-            new_row[op.edge_tag] = ERef(eid)
-            rows.append(new_row)
-        ctx.check_deadline()
-    ctx.charge_intermediate(len(rows))
-    return rows
-
-
-def _execute_expand_intersect(op: ExpandIntersect, ctx: ExecutionContext) -> List[Row]:
-    rows: List[Row] = []
-    for row in _child_rows(op, ctx):
-        candidate_sets: List[Dict[int, List[int]]] = []
-        valid = True
-        for branch in op.branches:
-            anchor = row.get(branch.anchor_tag)
-            if not isinstance(anchor, VRef):
-                valid = False
-                break
-            adjacent = ctx.graph.adjacent_edges(anchor.id, branch.direction, branch.edge_constraint)
-            ctx.counters.edges_traversed += len(adjacent)
-            per_vertex: Dict[int, List[int]] = {}
-            for eid, other in adjacent:
-                if _edge_matches(ctx, eid, branch.edge_predicates, branch.edge_tag, row):
-                    per_vertex.setdefault(other, []).append(eid)
-            candidate_sets.append(per_vertex)
-        if not valid or not candidate_sets:
-            continue
-        intersection = set(candidate_sets[0])
-        for per_vertex in candidate_sets[1:]:
-            intersection &= set(per_vertex)
-        first_anchor = row.get(op.branches[0].anchor_tag)
-        for target_vid in intersection:
-            if not _vertex_matches(ctx, target_vid, op.target_constraint, op.target_predicates,
-                                   op.target_tag, row):
-                continue
-            _retrieve_properties(ctx, target_vid, op.target_columns)
-            edge_lists = [per_vertex[target_vid] for per_vertex in candidate_sets]
-            for combination in itertools.product(*edge_lists):
-                new_row = dict(row)
-                new_row[op.target_tag] = VRef(target_vid)
-                for branch, eid in zip(op.branches, combination):
-                    new_row[branch.edge_tag] = ERef(eid)
-                rows.append(new_row)
-            if isinstance(first_anchor, VRef):
-                ctx.charge_shuffle_between(first_anchor.id, target_vid)
-        ctx.check_deadline()
-    ctx.charge_intermediate(len(rows))
-    return rows
-
-
-def _execute_path_expand(op: PathExpand, ctx: ExecutionContext) -> List[Row]:
-    rows: List[Row] = []
-    for row in _child_rows(op, ctx):
-        anchor = row.get(op.anchor_tag)
-        if not isinstance(anchor, VRef):
-            continue
-        bound_target = row.get(op.target_tag) if op.closes else None
-        # frontier entries: (edge ids along the path, visited vertices, current vertex)
-        frontier: List[Tuple[Tuple[int, ...], Tuple[int, ...], int]] = [((), (anchor.id,), anchor.id)]
-        for hop in range(1, op.max_hops + 1):
-            next_frontier: List[Tuple[Tuple[int, ...], Tuple[int, ...], int]] = []
-            for path_edges, visited, current in frontier:
-                adjacent = ctx.graph.adjacent_edges(current, op.direction, op.edge_constraint)
-                ctx.counters.edges_traversed += len(adjacent)
-                for eid, other in adjacent:
-                    if op.path_constraint is PathConstraint.SIMPLE and other in visited:
-                        continue
-                    if op.path_constraint is PathConstraint.TRAIL and eid in path_edges:
-                        continue
-                    next_frontier.append((path_edges + (eid,), visited + (other,), other))
-            frontier = next_frontier
-            ctx.charge_intermediate(len(frontier))
-            if hop >= op.min_hops:
-                for path_edges, visited, current in frontier:
-                    if op.closes:
-                        if isinstance(bound_target, VRef) and current == bound_target.id:
-                            new_row = dict(row)
-                            new_row[op.path_tag] = PRef(path_edges, current)
-                            rows.append(new_row)
-                    else:
-                        if not _vertex_matches(ctx, current, op.target_constraint,
-                                               op.target_predicates, op.target_tag, row):
-                            continue
-                        _retrieve_properties(ctx, current, op.target_columns)
-                        new_row = dict(row)
-                        new_row[op.path_tag] = PRef(path_edges, current)
-                        new_row[op.target_tag] = VRef(current)
-                        ctx.charge_shuffle_between(anchor.id, current)
-                        rows.append(new_row)
-            if not frontier:
-                break
-        ctx.check_deadline()
-    ctx.charge_intermediate(len(rows))
-    return rows
+    return handler
 
 
 def _execute_hash_join(op: HashJoin, ctx: ExecutionContext) -> List[Row]:
     left_rows = _child_rows(op, ctx, 0)
     right_rows = _child_rows(op, ctx, 1)
-    ctx.charge_shuffle(len(left_rows) + len(right_rows))
-
-    build_rows, probe_rows, build_is_left = (
-        (left_rows, right_rows, True) if len(left_rows) <= len(right_rows)
-        else (right_rows, left_rows, False)
-    )
-    index: Dict[Tuple, List[Row]] = {}
-    for row in build_rows:
-        key = tuple(row.get(k) for k in op.keys)
-        index.setdefault(key, []).append(row)
-
-    rows: List[Row] = []
-    matched_keys = set()
-    for probe in probe_rows:
-        key = tuple(probe.get(k) for k in op.keys)
-        matches = index.get(key, ())
-        if matches:
-            matched_keys.add(key)
-        if op.join_type == "anti":
-            if not matches:
-                rows.append(dict(probe))
-            continue
-        if op.join_type == "semi":
-            if matches:
-                rows.append(dict(probe))
-            continue
-        for build in matches:
-            merged = _merge_rows(build, probe)
-            if merged is not None:
-                rows.append(merged)
-    if op.join_type == "left_outer":
-        # add unmatched left rows untouched (right-side columns stay absent)
-        probe_keys = {tuple(r.get(k) for k in op.keys) for r in right_rows}
-        for row in left_rows:
-            key = tuple(row.get(k) for k in op.keys)
-            if key not in probe_keys:
-                rows.append(dict(row))
-    ctx.charge_intermediate(len(rows))
-    return rows
-
-
-def _merge_rows(left: Row, right: Row) -> Optional[Row]:
-    merged = dict(left)
-    for tag, value in right.items():
-        if tag in merged and merged[tag] != value:
-            return None
-        merged[tag] = value
-    return merged
-
-
-# -- relational operators ----------------------------------------------------------------
-
-def _execute_filter(op: Filter, ctx: ExecutionContext) -> List[Row]:
-    rows = [row for row in _child_rows(op, ctx)
-            if ctx.evaluator.evaluate(op.predicate, row)]
-    ctx.charge_intermediate(len(rows))
-    return rows
-
-
-def _execute_project(op: Project, ctx: ExecutionContext) -> List[Row]:
-    from repro.gir.expressions import TagRef
-
-    rows: List[Row] = []
-    input_rows = _child_rows(op, ctx)
-    # fast path: a pure column selection (all items are plain tag references)
-    if not op.append and all(isinstance(item.expr, TagRef) for item in op.items):
-        mapping = [(item.alias, item.expr.tag) for item in op.items]
-        rows = [{alias: row.get(tag) for alias, tag in mapping} for row in input_rows]
-        ctx.charge_intermediate(len(rows))
-        return rows
-    for row in input_rows:
-        values = {item.alias: ctx.evaluator.evaluate(item.expr, row) for item in op.items}
-        if op.append:
-            new_row = dict(row)
-            new_row.update(values)
-        else:
-            new_row = values
-        rows.append(new_row)
+    rows = hash_join_rows(op, ctx, left_rows, right_rows)
     ctx.charge_intermediate(len(rows))
     return rows
 
 
 def _execute_aggregate(op: Aggregate, ctx: ExecutionContext) -> List[Row]:
-    input_rows = _child_rows(op, ctx)
-    groups: Dict[Tuple, List[Row]] = {}
-    for row in input_rows:
-        key = tuple(ctx.evaluator.evaluate(item.expr, row) for item in op.keys)
-        groups.setdefault(key, []).append(row)
-    if not op.keys and not groups:
-        groups[()] = []
-    if op.mode == "local_global":
-        # the local aggregation ships one partial result per (group, partition)
-        ctx.charge_shuffle(len(groups))
-    rows: List[Row] = []
-    for key, members in groups.items():
-        out: Row = {item.alias: value for item, value in zip(op.keys, key)}
-        for agg in op.aggregations:
-            out[agg.alias] = _aggregate_value(agg, members, ctx)
-        rows.append(out)
+    rows = aggregate_rows(op, ctx, _child_rows(op, ctx))
     ctx.charge_intermediate(len(rows))
     return rows
-
-
-def _aggregate_value(agg, members: List[Row], ctx: ExecutionContext):
-    if agg.function is AggregateFunction.COUNT and agg.operand is None:
-        return len(members)
-    values = []
-    for row in members:
-        if agg.operand is None:
-            values.append(1)
-            continue
-        value = ctx.evaluator.evaluate(agg.operand, row)
-        if value is not None:
-            values.append(value)
-    if agg.function is AggregateFunction.COUNT:
-        return len(values)
-    if agg.function is AggregateFunction.COUNT_DISTINCT:
-        return len(set(values))
-    if agg.function is AggregateFunction.COLLECT:
-        return tuple(values)
-    if not values:
-        return None
-    if agg.function is AggregateFunction.SUM:
-        return sum(values)
-    if agg.function is AggregateFunction.MIN:
-        return min(values)
-    if agg.function is AggregateFunction.MAX:
-        return max(values)
-    if agg.function is AggregateFunction.AVG:
-        return sum(values) / len(values)
-    raise ExecutionError("unknown aggregate function %r" % (agg.function,))
 
 
 def _execute_sort(op: Sort, ctx: ExecutionContext) -> List[Row]:
-    rows = list(_child_rows(op, ctx))
-    # stable sorts applied from the least-significant key to the most-significant
-    for key in reversed(op.keys):
-        rows.sort(key=lambda row: _sort_key(ctx.evaluator.evaluate(key.expr, row)),
-                  reverse=not key.ascending)
-    if op.limit is not None:
-        rows = rows[: op.limit]
+    input_rows = _child_rows(op, ctx)
+    order = sort_permutation(op, ctx, len(input_rows), input_rows.__getitem__)
+    rows = [input_rows[index] for index in order]
     ctx.charge_intermediate(len(rows))
     return rows
-
-
-def _sort_key(value):
-    # None sorts first; values of mixed types are compared by type name then value
-    if value is None:
-        return (0, "", "")
-    if isinstance(value, bool):
-        return (1, "bool", value)
-    if isinstance(value, (int, float)):
-        return (1, "number", value)
-    return (2, type(value).__name__, str(value))
 
 
 def _execute_limit(op: Limit, ctx: ExecutionContext) -> List[Row]:
@@ -422,27 +124,10 @@ def _execute_limit(op: Limit, ctx: ExecutionContext) -> List[Row]:
 
 
 def _execute_dedup(op: Dedup, ctx: ExecutionContext) -> List[Row]:
-    seen = set()
-    rows: List[Row] = []
-    for row in _child_rows(op, ctx):
-        if op.tags:
-            key = tuple(row.get(tag) for tag in op.tags)
-        else:
-            key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
-        if key in seen:
-            continue
-        seen.add(key)
-        rows.append(row)
+    state = DistinctState(op.tags)
+    rows = [row for row in _child_rows(op, ctx) if state.admit(row)]
     ctx.charge_intermediate(len(rows))
     return rows
-
-
-def _hashable(value):
-    if isinstance(value, (list, set)):
-        return tuple(value)
-    if isinstance(value, dict):
-        return tuple(sorted(value.items()))
-    return value
 
 
 def _execute_union(op: Union, ctx: ExecutionContext) -> List[Row]:
@@ -450,41 +135,27 @@ def _execute_union(op: Union, ctx: ExecutionContext) -> List[Row]:
     for child in op.inputs:
         rows.extend(execute_operator(child, ctx))
     if op.distinct:
-        seen = set()
-        unique: List[Row] = []
-        for row in rows:
-            key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
-            if key not in seen:
-                seen.add(key)
-                unique.append(row)
-        rows = unique
+        state = DistinctState()
+        rows = [row for row in rows if state.admit(row)]
     ctx.charge_intermediate(len(rows))
     return rows
 
 
-def _execute_all_different(op: AllDifferent, ctx: ExecutionContext) -> List[Row]:
-    rows: List[Row] = []
-    for row in _child_rows(op, ctx):
-        values = [row.get(tag) for tag in op.tags if row.get(tag) is not None]
-        if len(values) == len(set(values)):
-            rows.append(row)
-    ctx.charge_intermediate(len(rows))
-    return rows
+for _op_type, _factory in (
+    (ExpandEdge, rowwise.expand_edge),
+    (ExpandInto, rowwise.expand_into),
+    (ExpandIntersect, rowwise.expand_intersect),
+    (PathExpand, rowwise.path_expand),
+    (Filter, rowwise.filter_rows),
+    (Project, rowwise.project_rows),
+    (AllDifferent, rowwise.all_different),
+):
+    registry.register_kernel(registry.MODE_ROW, _op_type, _rowwise_handler(_factory))
 
-
-_HANDLERS = {
-    ScanVertex: _execute_scan,
-    ExpandEdge: _execute_expand_edge,
-    ExpandInto: _execute_expand_into,
-    ExpandIntersect: _execute_expand_intersect,
-    PathExpand: _execute_path_expand,
-    HashJoin: _execute_hash_join,
-    Filter: _execute_filter,
-    Project: _execute_project,
-    Aggregate: _execute_aggregate,
-    Sort: _execute_sort,
-    Limit: _execute_limit,
-    Dedup: _execute_dedup,
-    Union: _execute_union,
-    AllDifferent: _execute_all_different,
-}
+registry.register_kernel(registry.MODE_ROW, ScanVertex, _execute_scan)
+registry.register_kernel(registry.MODE_ROW, HashJoin, _execute_hash_join)
+registry.register_kernel(registry.MODE_ROW, Aggregate, _execute_aggregate)
+registry.register_kernel(registry.MODE_ROW, Sort, _execute_sort)
+registry.register_kernel(registry.MODE_ROW, Limit, _execute_limit)
+registry.register_kernel(registry.MODE_ROW, Dedup, _execute_dedup)
+registry.register_kernel(registry.MODE_ROW, Union, _execute_union)

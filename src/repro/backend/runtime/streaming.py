@@ -5,57 +5,79 @@ and :mod:`repro.backend.runtime.vectorized`) build every operator's full
 binding table before its parent runs, the streaming interpreters pull results
 through the plan *on demand*:
 
-* :func:`stream_rows` is the row engine's pull pipeline -- each streamable
-  operator is a generator yielding dict rows one at a time;
+* :func:`stream_rows` is the row engine's pull pipeline -- each operator is
+  a generator yielding dict rows one at a time;
 * :func:`stream_batches` is the vectorized engine's pull pipeline -- each
-  streamable operator yields :class:`ColumnBatch` chunks whose size follows
+  operator yields :class:`ColumnBatch` chunks whose size follows
   ``ctx.batch_size``.
 
-Pipeline-breaking operators (Sort, Aggregate, HashJoin, ExpandIntersect,
-PathExpand) inherently need their whole input, so the streaming dispatchers
-delegate those subtrees to the materializing interpreter (which also keeps
-the per-context operator cache working for shared subtrees).  Everything else
--- Scan, ExpandEdge, ExpandInto, Filter, Project, Limit, Dedup, Union,
-AllDifferent -- streams, which gives two properties the serving layer relies
-on:
+Both pipelines drive the same operator kernels as the materializing engines
+(:mod:`repro.backend.runtime.kernels`), and since the kernel refactor even
+the pipeline breakers execute *incrementally* instead of materializing whole
+subtrees:
 
-* **bounded memory / early exit** -- a ``LIMIT k`` at the top of a streamable
-  chain stops pulling from its input after ``k`` rows, so the full result set
-  is never materialized and the work counters record only the work actually
-  performed;
-* **counter parity on full consumption** -- a fully drained stream charges
-  exactly the counters the materializing engine would have charged for the
-  same plan (minus early-exit savings), which the differential tests enforce.
+* **HashJoin** consumes the left side, then streams the right side through
+  the build table row by row (buffering right rows only until the smaller
+  build side is known -- see
+  :class:`~repro.backend.runtime.kernels.state.HashJoinState`);
+* **Aggregate** folds rows into per-group accumulators and emits one row per
+  group when its input is exhausted;
+* **Sort with a limit** (``ORDER BY .. LIMIT k``) keeps a bounded top-k heap
+  of at most ``k`` rows instead of the full result (a plain Sort still has
+  to hold its input -- that is what sorting means);
+* **ExpandIntersect** and **PathExpand** stream per input row like every
+  other expansion.
+
+Only subtrees shared between two plan branches (the ComSubPattern rewrite)
+are still materialized -- through the per-context operator cache, exactly
+once -- because streaming them per parent would execute them twice.
+
+The serving layer relies on two properties, enforced by the differential
+suite:
+
+* **bounded memory / early exit** -- a ``LIMIT k`` stops pulling after ``k``
+  rows and breaker states hold only what they must (observable via
+  ``ctx.peak_held_rows``), so the full result set is never materialized and
+  the work counters record only the work actually performed;
+* **row and counter parity on full consumption** -- a fully drained stream
+  yields exactly the materializing engines' rows in order and charges
+  identical counters (minus early-exit savings).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List
 
-from repro.backend.runtime.binding import VRef
-from repro.backend.runtime.columnar import ColumnBatch, MISSING
+from repro.backend.runtime.columnar import ColumnBatch
 from repro.backend.runtime.context import ExecutionContext
-from repro.backend.runtime.operators import (
-    Row,
-    _edge_matches,
-    _hashable,
-    _retrieve_properties,
-    _vertex_matches,
-    execute_operator,
+from repro.backend.runtime.kernels import registry, rowwise
+from repro.backend.runtime.kernels.common import Row, normalized_column, shared_subtree_ids
+from repro.backend.runtime.kernels.sinks import BatchSink, RowListSink
+from repro.backend.runtime.kernels.state import (
+    AggregateState,
+    DistinctState,
+    HashJoinState,
+    TopKState,
+    sort_permutation,
 )
-from repro.backend.runtime import vectorized as _vec
+from repro.backend.runtime.operators import execute_operator
 from repro.backend.runtime.vectorized import execute_vectorized
 from repro.gir.expressions import TagRef
 from repro.optimizer.physical_plan import (
+    Aggregate,
     AllDifferent,
     Dedup,
     ExpandEdge,
     ExpandInto,
+    ExpandIntersect,
     Filter,
+    HashJoin,
     Limit,
+    PathExpand,
     PhysicalOperator,
     Project,
     ScanVertex,
+    Sort,
     Union,
 )
 
@@ -66,9 +88,9 @@ from repro.optimizer.physical_plan import (
 def stream_rows(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[Row]:
     """Lazily produce the binding table of ``op`` row by row.
 
-    Streamable operators charge the work counters incrementally (one
-    intermediate result and ``len(row)`` cells per yielded row); pipeline
-    breakers fall back to :func:`execute_operator`, charging in bulk exactly
+    Operators charge the work counters incrementally (one intermediate
+    result and ``len(row)`` cells per yielded row); shared subtrees
+    materialize once through the operator cache, charging in bulk exactly
     as the materializing engine does.
     """
     cached = ctx.cached_result(id(op))
@@ -76,9 +98,14 @@ def stream_rows(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[Row]:
         # subtree already materialized in this execution: replay, cost charged
         yield from cached
         return
-    handler = _STREAM_HANDLERS.get(type(op))
+    if id(op) in ctx.shared_op_ids:
+        # shared subtree (ComSubPattern): materialize once into the operator
+        # cache; the second parent replays it instead of re-executing
+        yield from execute_operator(op, ctx)
+        return
+    handler = registry.kernel_for(registry.MODE_STREAM_ROWS, type(op))
     if handler is None:
-        # pipeline breaker: materialize the subtree with the row engine
+        # declared fallback: materialize the subtree with the row engine
         yield from execute_operator(op, ctx)
         return
     ctx.counters.operators_executed += 1
@@ -95,80 +122,27 @@ def _stream_child(op: PhysicalOperator, ctx: ExecutionContext, index: int = 0) -
 def _stream_scan(op: ScanVertex, ctx: ExecutionContext) -> Iterator[Row]:
     if op.constraint.is_empty:
         return
+    process = rowwise.scan_vertex(op, ctx)
+    sink = RowListSink()
     for vid in ctx.graph.vertices_of_type(op.constraint):
-        ctx.counters.vertices_scanned += 1
-        if _vertex_matches(ctx, vid, op.constraint, op.predicates, op.tag):
-            _retrieve_properties(ctx, vid, op.columns)
-            yield {op.tag: VRef(vid)}
+        process(vid, sink)
+        if sink.rows:
+            yield from sink.drain()
 
 
-def _stream_expand_edge(op: ExpandEdge, ctx: ExecutionContext) -> Iterator[Row]:
-    from repro.backend.runtime.binding import ERef
+def _stream_rowwise(factory):
+    """Drive a per-row kernel lazily: one input row in, its outputs out."""
 
-    for row in _stream_child(op, ctx):
-        anchor = row.get(op.anchor_tag)
-        if not isinstance(anchor, VRef):
-            continue
-        adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-        ctx.counters.edges_traversed += len(adjacent)
-        for eid, other in adjacent:
-            if not _vertex_matches(ctx, other, op.target_constraint, op.target_predicates,
-                                   op.target_tag, row):
-                continue
-            if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, row):
-                continue
-            _retrieve_properties(ctx, other, op.target_columns)
-            new_row = dict(row)
-            new_row[op.edge_tag] = ERef(eid)
-            new_row[op.target_tag] = VRef(other)
-            ctx.charge_shuffle_between(anchor.id, other)
-            yield new_row
-        ctx.check_deadline()
-
-
-def _stream_expand_into(op: ExpandInto, ctx: ExecutionContext) -> Iterator[Row]:
-    from repro.backend.runtime.binding import ERef
-
-    for row in _stream_child(op, ctx):
-        anchor = row.get(op.anchor_tag)
-        target = row.get(op.target_tag)
-        if not isinstance(anchor, VRef) or not isinstance(target, VRef):
-            continue
-        adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-        ctx.counters.edges_traversed += len(adjacent)
-        for eid, other in adjacent:
-            if other != target.id:
-                continue
-            if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, row):
-                continue
-            new_row = dict(row)
-            new_row[op.edge_tag] = ERef(eid)
-            yield new_row
-        ctx.check_deadline()
-
-
-def _stream_filter(op: Filter, ctx: ExecutionContext) -> Iterator[Row]:
-    evaluate = ctx.evaluator.evaluate
-    for row in _stream_child(op, ctx):
-        if evaluate(op.predicate, row):
-            yield row
-
-
-def _stream_project(op: Project, ctx: ExecutionContext) -> Iterator[Row]:
-    evaluate = ctx.evaluator.evaluate
-    if not op.append and all(isinstance(item.expr, TagRef) for item in op.items):
-        mapping = [(item.alias, item.expr.tag) for item in op.items]
+    def handler(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[Row]:
+        process = factory(op, ctx)
+        sink = RowListSink()
         for row in _stream_child(op, ctx):
-            yield {alias: row.get(tag) for alias, tag in mapping}
-        return
-    for row in _stream_child(op, ctx):
-        values = {item.alias: evaluate(item.expr, row) for item in op.items}
-        if op.append:
-            new_row = dict(row)
-            new_row.update(values)
-        else:
-            new_row = values
-        yield new_row
+            sink.base = row
+            process(row, sink)
+            if sink.rows:
+                yield from sink.drain()
+
+    return handler
 
 
 def _stream_limit(op: Limit, ctx: ExecutionContext) -> Iterator[Row]:
@@ -183,16 +157,10 @@ def _stream_limit(op: Limit, ctx: ExecutionContext) -> Iterator[Row]:
 
 
 def _stream_dedup(op: Dedup, ctx: ExecutionContext) -> Iterator[Row]:
-    seen = set()
+    state = DistinctState(op.tags)
     for row in _stream_child(op, ctx):
-        if op.tags:
-            key = tuple(row.get(tag) for tag in op.tags)
-        else:
-            key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
-        if key in seen:
-            continue
-        seen.add(key)
-        yield row
+        if state.admit(row):
+            yield row
 
 
 def _stream_union(op: Union, ctx: ExecutionContext) -> Iterator[Row]:
@@ -200,34 +168,62 @@ def _stream_union(op: Union, ctx: ExecutionContext) -> Iterator[Row]:
         for child in op.inputs:
             yield from stream_rows(child, ctx)
         return
-    seen = set()
+    state = DistinctState()
     for child in op.inputs:
         for row in stream_rows(child, ctx):
-            key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
-            if key in seen:
-                continue
-            seen.add(key)
-            yield row
+            if state.admit(row):
+                yield row
 
 
-def _stream_all_different(op: AllDifferent, ctx: ExecutionContext) -> Iterator[Row]:
+def _stream_sort(op: Sort, ctx: ExecutionContext) -> Iterator[Row]:
+    if op.limit is not None:
+        # bounded-memory top-k: hold at most ``limit`` rows at any moment
+        state = TopKState(op, ctx)
+        for row in _stream_child(op, ctx):
+            state.add(row)
+        yield from state.finish()
+        return
+    # a full sort inherently needs its whole input; hold it once, emit lazily
+    rows = list(_stream_child(op, ctx))
+    ctx.note_held_rows(len(rows))
+    for index in sort_permutation(op, ctx, len(rows), rows.__getitem__):
+        yield rows[index]
+
+
+def _stream_aggregate(op: Aggregate, ctx: ExecutionContext) -> Iterator[Row]:
+    state = AggregateState(op, ctx)
     for row in _stream_child(op, ctx):
-        values = [row.get(tag) for tag in op.tags if row.get(tag) is not None]
-        if len(values) == len(set(values)):
-            yield row
+        state.add(row)
+    yield from state.finish()
 
 
-_STREAM_HANDLERS = {
-    ScanVertex: _stream_scan,
-    ExpandEdge: _stream_expand_edge,
-    ExpandInto: _stream_expand_into,
-    Filter: _stream_filter,
-    Project: _stream_project,
-    Limit: _stream_limit,
-    Dedup: _stream_dedup,
-    Union: _stream_union,
-    AllDifferent: _stream_all_different,
-}
+def _stream_hash_join(op: HashJoin, ctx: ExecutionContext) -> Iterator[Row]:
+    state = HashJoinState(op, ctx)
+    state.start(list(_stream_child(op, ctx, 0)))
+    for row in _stream_child(op, ctx, 1):
+        yield from state.feed(row)
+    yield from state.finish()
+
+
+for _op_type, _factory in (
+    (ExpandEdge, rowwise.expand_edge),
+    (ExpandInto, rowwise.expand_into),
+    (ExpandIntersect, rowwise.expand_intersect),
+    (PathExpand, rowwise.path_expand),
+    (Filter, rowwise.filter_rows),
+    (Project, rowwise.project_rows),
+    (AllDifferent, rowwise.all_different),
+):
+    registry.register_kernel(registry.MODE_STREAM_ROWS, _op_type,
+                             _stream_rowwise(_factory))
+
+registry.register_kernel(registry.MODE_STREAM_ROWS, ScanVertex, _stream_scan)
+registry.register_kernel(registry.MODE_STREAM_ROWS, Limit, _stream_limit)
+registry.register_kernel(registry.MODE_STREAM_ROWS, Dedup, _stream_dedup)
+registry.register_kernel(registry.MODE_STREAM_ROWS, Union, _stream_union)
+registry.register_kernel(registry.MODE_STREAM_ROWS, Sort, _stream_sort)
+registry.register_kernel(registry.MODE_STREAM_ROWS, Aggregate, _stream_aggregate)
+registry.register_kernel(registry.MODE_STREAM_ROWS, HashJoin, _stream_hash_join)
 
 
 # -- vectorized-engine streaming ----------------------------------------------------
@@ -237,16 +233,21 @@ def stream_batches(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[Colu
     """Lazily produce the binding table of ``op`` as column batches.
 
     The streaming twin of :func:`~repro.backend.runtime.vectorized.execute_vectorized`:
-    streamable operators transform one input batch into one output batch and
-    charge counters per emitted batch; pipeline breakers materialize via the
-    vectorized engine and emit their result as a single batch.
+    operators transform input batches into output batches and charge
+    counters per emitted batch; shared subtrees materialize once via the
+    vectorized engine and replay as a single batch.
     """
     cached = ctx.cached_result(id(op))
     if cached is not None:
         if cached.num_rows:
             yield cached
         return
-    handler = _BATCH_HANDLERS.get(type(op))
+    if id(op) in ctx.shared_op_ids:
+        batch = execute_vectorized(op, ctx)
+        if batch.num_rows:
+            yield batch
+        return
+    handler = registry.kernel_for(registry.MODE_STREAM_BATCHES, type(op))
     if handler is None:
         batch = execute_vectorized(op, ctx)
         if batch.num_rows:
@@ -265,126 +266,57 @@ def _batch_child(op: PhysicalOperator, ctx: ExecutionContext, index: int = 0) ->
     return stream_batches(op.inputs[index], ctx)
 
 
+def _flush_size(ctx: ExecutionContext) -> int:
+    return ctx.batch_size if ctx.batch_size > 0 else 1024
+
+
+def _rebatch(rows: List[Row], ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    """Pivot breaker-state output rows back into batch_size column chunks."""
+    size = _flush_size(ctx)
+    for start in range(0, len(rows), size):
+        yield ColumnBatch.from_rows(rows[start:start + size])
+
+
 def _batch_scan(op: ScanVertex, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
     if op.constraint.is_empty:
         return
-    refs: List[object] = []
-    flush_at = ctx.batch_size if ctx.batch_size > 0 else 1024
+    process = rowwise.scan_vertex(op, ctx)
+    sink = BatchSink()
+    flush_at = _flush_size(ctx)
     for vid in ctx.graph.vertices_of_type(op.constraint):
-        ctx.counters.vertices_scanned += 1
-        if _vertex_matches(ctx, vid, op.constraint, op.predicates, op.tag):
-            _vec._retrieve_properties(ctx, vid, op.columns)
-            refs.append(VRef(vid))
-            if len(refs) >= flush_at:
-                yield ColumnBatch({op.tag: refs}, len(refs))
-                refs = []
-    if refs:
-        yield ColumnBatch({op.tag: refs}, len(refs))
+        process(vid, sink)
+        if sink.computed_rows >= flush_at:
+            yield sink.drain_computed()
+    if sink.computed_rows:
+        yield sink.drain_computed()
 
 
-def _batch_expand_edge(op: ExpandEdge, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
-    from repro.backend.runtime.binding import ERef
+def _batch_rowwise(factory):
+    """Drive a per-row kernel batch-wise: one output batch per input batch."""
 
-    for child in _batch_child(op, ctx):
-        anchor_column = child.column(op.anchor_tag)
-        if anchor_column is None:
-            continue
-        cursor = child.cursor()
-        selection: List[int] = []
-        edge_refs: List[object] = []
-        target_refs: List[object] = []
-        for index in range(child.num_rows):
-            anchor = anchor_column[index]
-            if not isinstance(anchor, VRef):
-                continue
-            cursor.index = index
-            adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-            ctx.counters.edges_traversed += len(adjacent)
-            for eid, other in adjacent:
-                if not _vec._vertex_matches(ctx, other, op.target_constraint,
-                                            op.target_predicates, op.target_tag, cursor):
-                    continue
-                if not _vec._edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, cursor):
-                    continue
-                _vec._retrieve_properties(ctx, other, op.target_columns)
-                ctx.charge_shuffle_between(anchor.id, other)
-                selection.append(index)
-                edge_refs.append(ERef(eid))
-                target_refs.append(VRef(other))
-            ctx.check_deadline()
-        columns = child.gather_columns(selection)
-        columns[op.edge_tag] = edge_refs
-        columns[op.target_tag] = target_refs
-        yield ColumnBatch(columns, len(selection))
+    def handler(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        process = factory(op, ctx)
+        sink = BatchSink()
+        for child in _batch_child(op, ctx):
+            cursor = child.cursor()
+            for index in range(child.num_rows):
+                cursor.index = index
+                sink.index = index
+                process(cursor, sink)
+            yield sink.drain(child)
 
-
-def _batch_expand_into(op: ExpandInto, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
-    from repro.backend.runtime.binding import ERef
-
-    for child in _batch_child(op, ctx):
-        anchor_column = child.column(op.anchor_tag)
-        target_column = child.column(op.target_tag)
-        if anchor_column is None or target_column is None:
-            continue
-        cursor = child.cursor()
-        selection: List[int] = []
-        edge_refs: List[object] = []
-        for index in range(child.num_rows):
-            anchor = anchor_column[index]
-            target = target_column[index]
-            if not isinstance(anchor, VRef) or not isinstance(target, VRef):
-                continue
-            cursor.index = index
-            adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-            ctx.counters.edges_traversed += len(adjacent)
-            for eid, other in adjacent:
-                if other != target.id:
-                    continue
-                if not _vec._edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, cursor):
-                    continue
-                selection.append(index)
-                edge_refs.append(ERef(eid))
-            ctx.check_deadline()
-        columns = child.gather_columns(selection)
-        columns[op.edge_tag] = edge_refs
-        yield ColumnBatch(columns, len(selection))
-
-
-def _batch_filter(op: Filter, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
-    evaluate = ctx.evaluator.evaluate
-    for child in _batch_child(op, ctx):
-        cursor = child.cursor()
-        selection: List[int] = []
-        for index in range(child.num_rows):
-            cursor.index = index
-            if evaluate(op.predicate, cursor):
-                selection.append(index)
-        yield ColumnBatch(child.gather_columns(selection), len(selection))
+    return handler
 
 
 def _batch_project(op: Project, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
-    evaluate = ctx.evaluator.evaluate
-    pure_selection = not op.append and all(isinstance(item.expr, TagRef) for item in op.items)
-    for child in _batch_child(op, ctx):
-        if pure_selection:
-            columns: Dict[str, List[object]] = {
-                item.alias: _vec._normalized_column(child, item.expr.tag)
-                for item in op.items
-            }
+    if not op.append and all(isinstance(item.expr, TagRef) for item in op.items):
+        # representational fast path, same as the materializing engine
+        for child in _batch_child(op, ctx):
+            columns = {item.alias: normalized_column(child, item.expr.tag)
+                       for item in op.items}
             yield ColumnBatch(columns, child.num_rows)
-            continue
-        cursor = child.cursor()
-        computed: Dict[str, List[object]] = {item.alias: [] for item in op.items}
-        for index in range(child.num_rows):
-            cursor.index = index
-            for item in op.items:
-                computed[item.alias].append(evaluate(item.expr, cursor))
-        if op.append:
-            columns = dict(child.columns)
-            columns.update(computed)
-        else:
-            columns = computed
-        yield ColumnBatch(columns, child.num_rows)
+        return
+    yield from _batch_rowwise(rowwise.project_rows)(op, ctx)
 
 
 def _batch_limit(op: Limit, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
@@ -400,23 +332,14 @@ def _batch_limit(op: Limit, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
 
 
 def _batch_dedup(op: Dedup, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
-    seen = set()
+    state = DistinctState(op.tags)
     for child in _batch_child(op, ctx):
+        cursor = child.cursor()
         selection: List[int] = []
-        if op.tags:
-            key_columns = [_vec._normalized_column(child, tag) for tag in op.tags]
-            for index in range(child.num_rows):
-                key = tuple(column[index] for column in key_columns)
-                if key not in seen:
-                    seen.add(key)
-                    selection.append(index)
-        else:
-            items = list(child.columns.items())
-            for index in range(child.num_rows):
-                key = _vec._row_key(items, index)
-                if key not in seen:
-                    seen.add(key)
-                    selection.append(index)
+        for index in range(child.num_rows):
+            cursor.index = index
+            if state.admit(cursor):
+                selection.append(index)
         yield ColumnBatch(child.gather_columns(selection), len(selection))
 
 
@@ -425,52 +348,86 @@ def _batch_union(op: Union, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
         for child in op.inputs:
             yield from stream_batches(child, ctx)
         return
-    seen = set()
+    state = DistinctState()
     for child in op.inputs:
         for batch in stream_batches(child, ctx):
+            cursor = batch.cursor()
             selection: List[int] = []
-            items = list(batch.columns.items())
             for index in range(batch.num_rows):
-                key = _vec._row_key(items, index)
-                if key not in seen:
-                    seen.add(key)
+                cursor.index = index
+                if state.admit(cursor):
                     selection.append(index)
             yield ColumnBatch(batch.gather_columns(selection), len(selection))
 
 
-def _batch_all_different(op: AllDifferent, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+def _batch_sort(op: Sort, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    if op.limit is not None:
+        state = TopKState(op, ctx)
+        for child in _batch_child(op, ctx):
+            for row in child.to_rows():
+                state.add(row)
+        yield from _rebatch(state.finish(), ctx)
+        return
+    rows: List[Row] = []
     for child in _batch_child(op, ctx):
-        columns = [child.columns.get(tag) for tag in op.tags]
-        selection: List[int] = []
+        rows.extend(child.to_rows())
+    ctx.note_held_rows(len(rows))
+    order = sort_permutation(op, ctx, len(rows), rows.__getitem__)
+    yield from _rebatch([rows[index] for index in order], ctx)
+
+
+def _batch_aggregate(op: Aggregate, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    state = AggregateState(op, ctx)
+    for child in _batch_child(op, ctx):
+        cursor = child.cursor()
         for index in range(child.num_rows):
-            values = []
-            for column in columns:
-                if column is None:
-                    continue
-                value = column[index]
-                if value is not MISSING and value is not None:
-                    values.append(value)
-            if len(values) == len(set(values)):
-                selection.append(index)
-        yield ColumnBatch(child.gather_columns(selection), len(selection))
+            cursor.index = index
+            state.add(cursor)
+    yield from _rebatch(state.finish(), ctx)
 
 
-_BATCH_HANDLERS = {
-    ScanVertex: _batch_scan,
-    ExpandEdge: _batch_expand_edge,
-    ExpandInto: _batch_expand_into,
-    Filter: _batch_filter,
-    Project: _batch_project,
-    Limit: _batch_limit,
-    Dedup: _batch_dedup,
-    Union: _batch_union,
-    AllDifferent: _batch_all_different,
-}
+def _batch_hash_join(op: HashJoin, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+    state = HashJoinState(op, ctx)
+    left: List[Row] = []
+    for child in _batch_child(op, ctx, 0):
+        left.extend(child.to_rows())
+    state.start(left)
+    for child in _batch_child(op, ctx, 1):
+        out: List[Row] = []
+        for row in child.to_rows():
+            out.extend(state.feed(row))
+        if out:
+            yield ColumnBatch.from_rows(out)
+    yield from _rebatch(state.finish(), ctx)
+
+
+for _op_type, _factory in (
+    (ExpandEdge, rowwise.expand_edge),
+    (ExpandInto, rowwise.expand_into),
+    (ExpandIntersect, rowwise.expand_intersect),
+    (PathExpand, rowwise.path_expand),
+    (Filter, rowwise.filter_rows),
+    (AllDifferent, rowwise.all_different),
+):
+    registry.register_kernel(registry.MODE_STREAM_BATCHES, _op_type,
+                             _batch_rowwise(_factory))
+
+registry.register_kernel(registry.MODE_STREAM_BATCHES, ScanVertex, _batch_scan)
+registry.register_kernel(registry.MODE_STREAM_BATCHES, Project, _batch_project)
+registry.register_kernel(registry.MODE_STREAM_BATCHES, Limit, _batch_limit)
+registry.register_kernel(registry.MODE_STREAM_BATCHES, Dedup, _batch_dedup)
+registry.register_kernel(registry.MODE_STREAM_BATCHES, Union, _batch_union)
+registry.register_kernel(registry.MODE_STREAM_BATCHES, Sort, _batch_sort)
+registry.register_kernel(registry.MODE_STREAM_BATCHES, Aggregate, _batch_aggregate)
+registry.register_kernel(registry.MODE_STREAM_BATCHES, HashJoin, _batch_hash_join)
 
 
 def stream_result_rows(op: PhysicalOperator, ctx: ExecutionContext,
                        engine: str) -> Iterator[Row]:
     """Rows of ``op`` as produced by the streaming pipeline of ``engine``."""
+    # subtrees with more than one parent must materialize exactly once (the
+    # streaming dispatchers route them through the operator cache)
+    ctx.shared_op_ids = shared_subtree_ids(op)
     if engine == "vectorized":
         for batch in stream_batches(op, ctx):
             yield from batch.to_rows()

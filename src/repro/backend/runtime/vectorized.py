@@ -1,12 +1,13 @@
-"""Vectorized columnar interpreter for physical plans.
+"""Vectorized columnar interpreter: batch adapters over the operator kernels.
 
-A second interpreter next to :mod:`repro.backend.runtime.operators`: binding
-tables flow through the operator tree as :class:`ColumnBatch` column batches
-instead of ``List[Dict]`` rows.  Per-operator handlers produce their output by
-building selection-index lists and *gathering* the carried columns in bulk
-(list comprehensions over whole columns), which avoids the row engine's
-dict-copy per produced row.  Inner loops advance a reusable
-:class:`RowCursor` in chunks of ``ctx.batch_size`` rows.
+Binding tables flow through the operator tree as :class:`ColumnBatch` column
+batches instead of ``List[Dict]`` rows.  The operator semantics live in
+:mod:`repro.backend.runtime.kernels`; this module supplies the columnar
+representation: per-row kernels run against a reusable :class:`RowCursor`
+and emit through a *batch sink* that records selection indices plus the
+newly bound columns, so carried columns are gathered in bulk instead of
+copied dict-by-dict.  Stateful kernels (join, aggregation, sort, dedup) are
+driven over cursor views or pivoted rows and their output re-batched.
 
 The engine is differential-tested against the row engine
 (``tests/backend/test_engine_equivalence.py``): for every plan it must
@@ -17,21 +18,21 @@ experiments hold regardless of the engine flag.
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from repro.backend.runtime.binding import ERef, PRef, VRef
-from repro.backend.runtime.columnar import (
-    MISSING,
-    ColumnBatch,
-    OverlayBinding,
-    RowCursor,
-)
+from repro.backend.runtime.columnar import ColumnBatch
 from repro.backend.runtime.context import ExecutionContext
-from repro.backend.runtime.operators import _aggregate_value, _hashable, _sort_key
+from repro.backend.runtime.kernels import registry, rowwise
+from repro.backend.runtime.kernels.common import Row, normalized_column
+from repro.backend.runtime.kernels.sinks import BatchSink
+from repro.backend.runtime.kernels.state import (
+    DistinctState,
+    aggregate_rows,
+    hash_join_rows,
+    sort_permutation,
+)
 from repro.errors import ExecutionError
 from repro.gir.expressions import TagRef
-from repro.gir.pattern import PathConstraint
 from repro.optimizer.physical_plan import (
     Aggregate,
     AllDifferent,
@@ -50,6 +51,8 @@ from repro.optimizer.physical_plan import (
     Union,
 )
 
+__all__ = ["execute_vectorized"]
+
 
 def execute_vectorized(op: PhysicalOperator, ctx: ExecutionContext) -> ColumnBatch:
     """Execute a physical operator subtree, returning its column batch."""
@@ -57,7 +60,7 @@ def execute_vectorized(op: PhysicalOperator, ctx: ExecutionContext) -> ColumnBat
     if cached is not None:
         return cached
     ctx.counters.operators_executed += 1
-    handler = _HANDLERS.get(type(op))
+    handler = registry.kernel_for(registry.MODE_VECTORIZED, type(op))
     if handler is None:
         raise ExecutionError("no vectorized interpreter for physical operator %r" % (op.name,))
     batch = handler(op, ctx)
@@ -72,432 +75,97 @@ def _child_batch(op: PhysicalOperator, ctx: ExecutionContext, index: int = 0) ->
     return execute_vectorized(op.inputs[index], ctx)
 
 
-def _retrieve_properties(ctx: ExecutionContext, vid: int, columns) -> None:
-    """Same property-retrieval accounting as the row engine (FieldTrim cost)."""
-    properties = ctx.graph.vertex_properties(vid)
-    if columns is None:
-        retrieved = len(properties)
-    elif columns:
-        retrieved = sum(1 for key in columns if key in properties)
-    else:
-        retrieved = 0
-    ctx.counters.cells_produced += retrieved
-
-
-def _vertex_matches(ctx: ExecutionContext, vid: int, constraint, predicates, tag: str,
-                    binding=None) -> bool:
-    if not constraint.contains(ctx.graph.vertex_type(vid)):
-        return False
-    if predicates:
-        probe = OverlayBinding(binding, {tag: VRef(vid)})
-        for predicate in predicates:
-            if not ctx.evaluator.evaluate(predicate, probe):
-                return False
-    return True
-
-
-def _edge_matches(ctx: ExecutionContext, eid: int, predicates, tag: str, binding) -> bool:
-    if not predicates:
-        return True
-    probe = OverlayBinding(binding, {tag: ERef(eid)})
-    for predicate in predicates:
-        if not ctx.evaluator.evaluate(predicate, probe):
-            return False
-    return True
-
-
-# -- graph operators ---------------------------------------------------------------
-
 def _execute_scan(op: ScanVertex, ctx: ExecutionContext) -> ColumnBatch:
-    refs: List[object] = []
+    sink = BatchSink()
     if op.constraint.is_empty:
-        return ColumnBatch({op.tag: refs}, 0)
+        return ColumnBatch({op.tag: []}, 0)
+    process = rowwise.scan_vertex(op, ctx)
     for vid in ctx.graph.vertices_of_type(op.constraint):
-        ctx.counters.vertices_scanned += 1
-        if _vertex_matches(ctx, vid, op.constraint, op.predicates, op.tag):
-            _retrieve_properties(ctx, vid, op.columns)
-            refs.append(VRef(vid))
+        process(vid, sink)
+    refs = sink.computed.get(op.tag, [])
     ctx.charge_intermediate(len(refs))
     return ColumnBatch({op.tag: refs}, len(refs))
 
 
-def _execute_expand_edge(op: ExpandEdge, ctx: ExecutionContext) -> ColumnBatch:
-    child = _child_batch(op, ctx)
-    anchor_column = child.column(op.anchor_tag)
-    cursor = child.cursor()
-    selection: List[int] = []
-    edge_refs: List[object] = []
-    target_refs: List[object] = []
-    if anchor_column is not None:
-        for chunk in child.chunk_bounds(ctx.batch_size):
-            for index in chunk:
-                anchor = anchor_column[index]
-                if not isinstance(anchor, VRef):
-                    continue
-                cursor.index = index
-                adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-                ctx.counters.edges_traversed += len(adjacent)
-                for eid, other in adjacent:
-                    if not _vertex_matches(ctx, other, op.target_constraint,
-                                           op.target_predicates, op.target_tag, cursor):
-                        continue
-                    if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, cursor):
-                        continue
-                    _retrieve_properties(ctx, other, op.target_columns)
-                    ctx.charge_shuffle_between(anchor.id, other)
-                    selection.append(index)
-                    edge_refs.append(ERef(eid))
-                    target_refs.append(VRef(other))
-                ctx.check_deadline()
-    columns = child.gather_columns(selection)
-    columns[op.edge_tag] = edge_refs
-    columns[op.target_tag] = target_refs
-    ctx.charge_intermediate(len(selection))
-    return ColumnBatch(columns, len(selection))
+def _rowwise_handler(factory):
+    """Drive a per-row kernel over the child batch via a moving cursor."""
 
-
-def _execute_expand_into(op: ExpandInto, ctx: ExecutionContext) -> ColumnBatch:
-    child = _child_batch(op, ctx)
-    anchor_column = child.column(op.anchor_tag)
-    target_column = child.column(op.target_tag)
-    cursor = child.cursor()
-    selection: List[int] = []
-    edge_refs: List[object] = []
-    if anchor_column is not None and target_column is not None:
-        for chunk in child.chunk_bounds(ctx.batch_size):
-            for index in chunk:
-                anchor = anchor_column[index]
-                target = target_column[index]
-                if not isinstance(anchor, VRef) or not isinstance(target, VRef):
-                    continue
-                cursor.index = index
-                adjacent = ctx.graph.adjacent_edges(anchor.id, op.direction, op.edge_constraint)
-                ctx.counters.edges_traversed += len(adjacent)
-                for eid, other in adjacent:
-                    if other != target.id:
-                        continue
-                    if not _edge_matches(ctx, eid, op.edge_predicates, op.edge_tag, cursor):
-                        continue
-                    selection.append(index)
-                    edge_refs.append(ERef(eid))
-                ctx.check_deadline()
-    columns = child.gather_columns(selection)
-    columns[op.edge_tag] = edge_refs
-    ctx.charge_intermediate(len(selection))
-    return ColumnBatch(columns, len(selection))
-
-
-def _execute_expand_intersect(op: ExpandIntersect, ctx: ExecutionContext) -> ColumnBatch:
-    child = _child_batch(op, ctx)
-    anchor_columns = [child.column(branch.anchor_tag) for branch in op.branches]
-    first_anchor_column = anchor_columns[0] if anchor_columns else None
-    cursor = child.cursor()
-    selection: List[int] = []
-    target_refs: List[object] = []
-    edge_columns: List[List[object]] = [[] for _ in op.branches]
-    for chunk in child.chunk_bounds(ctx.batch_size):
-        for index in chunk:
-            cursor.index = index
-            candidate_sets: List[Dict[int, List[int]]] = []
-            valid = True
-            for branch, anchor_column in zip(op.branches, anchor_columns):
-                anchor = anchor_column[index] if anchor_column is not None else None
-                if not isinstance(anchor, VRef):
-                    valid = False
-                    break
-                adjacent = ctx.graph.adjacent_edges(anchor.id, branch.direction,
-                                                    branch.edge_constraint)
-                ctx.counters.edges_traversed += len(adjacent)
-                per_vertex: Dict[int, List[int]] = {}
-                for eid, other in adjacent:
-                    if _edge_matches(ctx, eid, branch.edge_predicates, branch.edge_tag, cursor):
-                        per_vertex.setdefault(other, []).append(eid)
-                candidate_sets.append(per_vertex)
-            if not valid or not candidate_sets:
-                continue
-            intersection = set(candidate_sets[0])
-            for per_vertex in candidate_sets[1:]:
-                intersection &= set(per_vertex)
-            first_anchor = first_anchor_column[index] if first_anchor_column is not None else None
-            for target_vid in intersection:
-                if not _vertex_matches(ctx, target_vid, op.target_constraint,
-                                       op.target_predicates, op.target_tag, cursor):
-                    continue
-                _retrieve_properties(ctx, target_vid, op.target_columns)
-                edge_lists = [per_vertex[target_vid] for per_vertex in candidate_sets]
-                for combination in itertools.product(*edge_lists):
-                    selection.append(index)
-                    target_refs.append(VRef(target_vid))
-                    for column, eid in zip(edge_columns, combination):
-                        column.append(ERef(eid))
-                if isinstance(first_anchor, VRef):
-                    ctx.charge_shuffle_between(first_anchor.id, target_vid)
-            ctx.check_deadline()
-    columns = child.gather_columns(selection)
-    columns[op.target_tag] = target_refs
-    for branch, column in zip(op.branches, edge_columns):
-        columns[branch.edge_tag] = column
-    ctx.charge_intermediate(len(selection))
-    return ColumnBatch(columns, len(selection))
-
-
-def _execute_path_expand(op: PathExpand, ctx: ExecutionContext) -> ColumnBatch:
-    child = _child_batch(op, ctx)
-    anchor_column = child.column(op.anchor_tag)
-    target_column = child.column(op.target_tag) if op.closes else None
-    cursor = child.cursor()
-    selection: List[int] = []
-    path_refs: List[object] = []
-    target_refs: List[object] = []
-    if anchor_column is not None:
+    def handler(op: PhysicalOperator, ctx: ExecutionContext) -> ColumnBatch:
+        child = _child_batch(op, ctx)
+        process = factory(op, ctx)
+        sink = BatchSink()
+        cursor = child.cursor()
         for index in range(child.num_rows):
-            anchor = anchor_column[index]
-            if not isinstance(anchor, VRef):
-                continue
             cursor.index = index
-            bound_target = target_column[index] if target_column is not None else None
-            frontier: List[Tuple[Tuple[int, ...], Tuple[int, ...], int]] = [
-                ((), (anchor.id,), anchor.id)
-            ]
-            for hop in range(1, op.max_hops + 1):
-                next_frontier: List[Tuple[Tuple[int, ...], Tuple[int, ...], int]] = []
-                for path_edges, visited, current in frontier:
-                    adjacent = ctx.graph.adjacent_edges(current, op.direction, op.edge_constraint)
-                    ctx.counters.edges_traversed += len(adjacent)
-                    for eid, other in adjacent:
-                        if op.path_constraint is PathConstraint.SIMPLE and other in visited:
-                            continue
-                        if op.path_constraint is PathConstraint.TRAIL and eid in path_edges:
-                            continue
-                        next_frontier.append((path_edges + (eid,), visited + (other,), other))
-                frontier = next_frontier
-                ctx.charge_intermediate(len(frontier))
-                if hop >= op.min_hops:
-                    for path_edges, visited, current in frontier:
-                        if op.closes:
-                            if isinstance(bound_target, VRef) and current == bound_target.id:
-                                selection.append(index)
-                                path_refs.append(PRef(path_edges, current))
-                                target_refs.append(MISSING)
-                        else:
-                            if not _vertex_matches(ctx, current, op.target_constraint,
-                                                   op.target_predicates, op.target_tag, cursor):
-                                continue
-                            _retrieve_properties(ctx, current, op.target_columns)
-                            ctx.charge_shuffle_between(anchor.id, current)
-                            selection.append(index)
-                            path_refs.append(PRef(path_edges, current))
-                            target_refs.append(VRef(current))
-                if not frontier:
-                    break
-            ctx.check_deadline()
-    columns = child.gather_columns(selection)
-    columns[op.path_tag] = path_refs
-    if not op.closes:
-        columns[op.target_tag] = target_refs
-    ctx.charge_intermediate(len(selection))
-    return ColumnBatch(columns, len(selection))
+            sink.index = index
+            process(cursor, sink)
+        batch = sink.drain(child)
+        ctx.charge_intermediate(batch.num_rows)
+        return batch
+
+    return handler
+
+
+def _execute_project(op: Project, ctx: ExecutionContext) -> ColumnBatch:
+    child = _child_batch(op, ctx)
+    # representational fast path: a pure column selection never touches
+    # individual rows; semantically identical to the kernel's per-row
+    # ``row.get`` (an absent tag surfaces as a present None cell)
+    if not op.append and all(isinstance(item.expr, TagRef) for item in op.items):
+        columns: Dict[str, List[object]] = {
+            item.alias: normalized_column(child, item.expr.tag) for item in op.items
+        }
+        ctx.charge_intermediate(child.num_rows)
+        return ColumnBatch(columns, child.num_rows)
+    process = rowwise.project_rows(op, ctx)
+    sink = BatchSink()
+    cursor = child.cursor()
+    for index in range(child.num_rows):
+        cursor.index = index
+        sink.index = index
+        process(cursor, sink)
+    if op.append:
+        batch = sink.drain(child)
+    else:
+        columns = {item.alias: sink.computed.get(item.alias, [])
+                   for item in op.items}
+        batch = ColumnBatch(columns, sink.computed_rows)
+    ctx.charge_intermediate(batch.num_rows)
+    return batch
+
+
+def _cursor_bindings(batch: ColumnBatch):
+    """Iterate a batch's rows as one reusable cursor view per position."""
+    cursor = batch.cursor()
+    for index in range(batch.num_rows):
+        cursor.index = index
+        yield cursor
 
 
 def _execute_hash_join(op: HashJoin, ctx: ExecutionContext) -> ColumnBatch:
     left = _child_batch(op, ctx, 0)
     right = _child_batch(op, ctx, 1)
-    ctx.charge_shuffle(left.num_rows + right.num_rows)
-
-    build, probe, build_is_left = (
-        (left, right, True) if left.num_rows <= right.num_rows else (right, left, False)
-    )
-    build_keys = _key_tuples(build, op.keys)
-    probe_keys = _key_tuples(probe, op.keys)
-    index: Dict[Tuple, List[int]] = {}
-    for position, key in enumerate(build_keys):
-        index.setdefault(key, []).append(position)
-
-    if op.join_type in ("semi", "anti"):
-        want_match = op.join_type == "semi"
-        selection = [position for position, key in enumerate(probe_keys)
-                     if (key in index) == want_match]
-        ctx.charge_intermediate(len(selection))
-        return ColumnBatch(probe.gather_columns(selection), len(selection))
-
-    shared = [tag for tag in build.columns if tag in probe.columns]
-    pairs: List[Tuple[int, int]] = []
-    for probe_position, key in enumerate(probe_keys):
-        for build_position in index.get(key, ()):
-            consistent = True
-            for tag in shared:
-                build_value = build.columns[tag][build_position]
-                probe_value = probe.columns[tag][probe_position]
-                if (build_value is not MISSING and probe_value is not MISSING
-                        and build_value != probe_value):
-                    consistent = False
-                    break
-            if consistent:
-                pairs.append((build_position, probe_position))
-
-    columns: Dict[str, List[object]] = {}
-    for tag, column in build.columns.items():
-        if tag in probe.columns:
-            probe_column = probe.columns[tag]
-            columns[tag] = [probe_column[pp] if column[bp] is MISSING else column[bp]
-                            for bp, pp in pairs]
-        else:
-            columns[tag] = [column[bp] for bp, _ in pairs]
-    for tag, column in probe.columns.items():
-        if tag not in build.columns:
-            columns[tag] = [column[pp] for _, pp in pairs]
-
-    num_rows = len(pairs)
-    if op.join_type == "left_outer":
-        right_keys = set(probe_keys if build_is_left else build_keys)
-        left_keys = build_keys if build_is_left else probe_keys
-        extra = [position for position, key in enumerate(left_keys)
-                 if key not in right_keys]
-        if extra:
-            for tag in columns:
-                left_column = left.columns.get(tag)
-                if left_column is None:
-                    columns[tag].extend([MISSING] * len(extra))
-                else:
-                    columns[tag].extend(left_column[position] for position in extra)
-            num_rows += len(extra)
-    ctx.charge_intermediate(num_rows)
-    return ColumnBatch(columns, num_rows)
-
-
-def _normalized_column(batch: ColumnBatch, tag: str) -> List[object]:
-    """The column for ``tag`` with MISSING surfaced as None (``row.get`` view)."""
-    column = batch.columns.get(tag)
-    if column is None:
-        return [None] * batch.num_rows
-    return [None if value is MISSING else value for value in column]
-
-
-def _row_key(items, index: int) -> Tuple:
-    """Whole-row dedup key: present cells only, sorted by tag (row-engine form)."""
-    return tuple(sorted(
-        (tag, _hashable(column[index])) for tag, column in items
-        if column[index] is not MISSING))
-
-
-def _key_tuples(batch: ColumnBatch, keys) -> List[Tuple]:
-    """Join-key tuples per row; MISSING becomes None like ``row.get``."""
-    key_columns = [_normalized_column(batch, key) for key in keys]
-    return list(zip(*key_columns)) if key_columns else [()] * batch.num_rows
-
-
-# -- relational operators ----------------------------------------------------------------
-
-def _execute_filter(op: Filter, ctx: ExecutionContext) -> ColumnBatch:
-    child = _child_batch(op, ctx)
-    cursor = child.cursor()
-    selection: List[int] = []
-    evaluate = ctx.evaluator.evaluate
-    for chunk in child.chunk_bounds(ctx.batch_size):
-        for index in chunk:
-            cursor.index = index
-            if evaluate(op.predicate, cursor):
-                selection.append(index)
-    ctx.charge_intermediate(len(selection))
-    return ColumnBatch(child.gather_columns(selection), len(selection))
-
-
-def _execute_project(op: Project, ctx: ExecutionContext) -> ColumnBatch:
-    child = _child_batch(op, ctx)
-    # fast path: a pure column selection never touches individual rows
-    if not op.append and all(isinstance(item.expr, TagRef) for item in op.items):
-        # row.get() surfaces an absent tag as a present None cell
-        columns: Dict[str, List[object]] = {
-            item.alias: _normalized_column(child, item.expr.tag) for item in op.items
-        }
-        ctx.charge_intermediate(child.num_rows)
-        return ColumnBatch(columns, child.num_rows)
-    cursor = child.cursor()
-    evaluate = ctx.evaluator.evaluate
-    computed: Dict[str, List[object]] = {item.alias: [] for item in op.items}
-    for chunk in child.chunk_bounds(ctx.batch_size):
-        for index in chunk:
-            cursor.index = index
-            for item in op.items:
-                computed[item.alias].append(evaluate(item.expr, cursor))
-    if op.append:
-        columns = dict(child.columns)
-        columns.update(computed)
-    else:
-        columns = computed
-    ctx.charge_intermediate(child.num_rows)
-    return ColumnBatch(columns, child.num_rows)
+    rows = hash_join_rows(op, ctx, left.to_rows(), right.to_rows())
+    ctx.charge_intermediate(len(rows))
+    return ColumnBatch.from_rows(rows)
 
 
 def _execute_aggregate(op: Aggregate, ctx: ExecutionContext) -> ColumnBatch:
     child = _child_batch(op, ctx)
-    cursor = child.cursor()
-    evaluate = ctx.evaluator.evaluate
-    groups: Dict[Tuple, List[int]] = {}
-    for index in range(child.num_rows):
-        cursor.index = index
-        key = tuple(evaluate(item.expr, cursor) for item in op.keys)
-        groups.setdefault(key, []).append(index)
-    if not op.keys and not groups:
-        groups[()] = []
-    if op.mode == "local_global":
-        ctx.charge_shuffle(len(groups))
-    columns: Dict[str, List[object]] = {item.alias: [] for item in op.keys}
-    for agg in op.aggregations:
-        columns[agg.alias] = []
-    member_cursor = child.cursor()
-    for key, members in groups.items():
-        for item, value in zip(op.keys, key):
-            columns[item.alias].append(value)
-        member_rows = _member_rows(member_cursor, members)
-        for agg in op.aggregations:
-            columns[agg.alias].append(_aggregate_value(agg, member_rows, ctx))
-    ctx.charge_intermediate(len(groups))
-    return ColumnBatch(columns, len(groups))
-
-
-class _CursorRows:
-    """Sequence of cursor positions quacking like the row engine's member list.
-
-    :func:`_aggregate_value` only iterates members and evaluates operand
-    expressions against each, so yielding the shared cursor positioned at each
-    member index is enough -- no dict per member row.
-    """
-
-    __slots__ = ("_cursor", "_indices")
-
-    def __init__(self, cursor: RowCursor, indices: List[int]):
-        self._cursor = cursor
-        self._indices = indices
-
-    def __len__(self) -> int:
-        return len(self._indices)
-
-    def __iter__(self):
-        cursor = self._cursor
-        for index in self._indices:
-            cursor.index = index
-            yield cursor
-
-
-def _member_rows(cursor: RowCursor, indices: List[int]) -> "_CursorRows":
-    return _CursorRows(cursor, indices)
+    rows = aggregate_rows(op, ctx, _cursor_bindings(child))
+    ctx.charge_intermediate(len(rows))
+    return ColumnBatch.from_rows(rows)
 
 
 def _execute_sort(op: Sort, ctx: ExecutionContext) -> ColumnBatch:
     child = _child_batch(op, ctx)
     cursor = child.cursor()
-    evaluate = ctx.evaluator.evaluate
-    order = list(range(child.num_rows))
-    # stable index sorts applied from the least-significant key to the most
-    for key in reversed(op.keys):
-        values = []
-        for index in range(child.num_rows):
-            cursor.index = index
-            values.append(_sort_key(evaluate(key.expr, cursor)))
-        order.sort(key=values.__getitem__, reverse=not key.ascending)
-    if op.limit is not None:
-        order = order[: op.limit]
+
+    def binding_at(index: int):
+        cursor.index = index
+        return cursor
+
+    order = sort_permutation(op, ctx, child.num_rows, binding_at)
     ctx.charge_intermediate(len(order))
     return child.gather(order)
 
@@ -511,22 +179,13 @@ def _execute_limit(op: Limit, ctx: ExecutionContext) -> ColumnBatch:
 
 def _execute_dedup(op: Dedup, ctx: ExecutionContext) -> ColumnBatch:
     child = _child_batch(op, ctx)
-    seen = set()
+    state = DistinctState(op.tags)
+    cursor = child.cursor()
     selection: List[int] = []
-    if op.tags:
-        key_columns = [_normalized_column(child, tag) for tag in op.tags]
-        for index in range(child.num_rows):
-            key = tuple(column[index] for column in key_columns)
-            if key not in seen:
-                seen.add(key)
-                selection.append(index)
-    else:
-        items = list(child.columns.items())
-        for index in range(child.num_rows):
-            key = _row_key(items, index)
-            if key not in seen:
-                seen.add(key)
-                selection.append(index)
+    for index in range(child.num_rows):
+        cursor.index = index
+        if state.admit(cursor):
+            selection.append(index)
     ctx.charge_intermediate(len(selection))
     return ColumnBatch(child.gather_columns(selection), len(selection))
 
@@ -534,50 +193,34 @@ def _execute_dedup(op: Dedup, ctx: ExecutionContext) -> ColumnBatch:
 def _execute_union(op: Union, ctx: ExecutionContext) -> ColumnBatch:
     batch = ColumnBatch.concat(execute_vectorized(child, ctx) for child in op.inputs)
     if op.distinct:
-        seen = set()
+        state = DistinctState()
+        cursor = batch.cursor()
         selection: List[int] = []
-        items = list(batch.columns.items())
         for index in range(batch.num_rows):
-            key = _row_key(items, index)
-            if key not in seen:
-                seen.add(key)
+            cursor.index = index
+            if state.admit(cursor):
                 selection.append(index)
         batch = ColumnBatch(batch.gather_columns(selection), len(selection))
     ctx.charge_intermediate(batch.num_rows)
     return batch
 
 
-def _execute_all_different(op: AllDifferent, ctx: ExecutionContext) -> ColumnBatch:
-    child = _child_batch(op, ctx)
-    columns = [child.columns.get(tag) for tag in op.tags]
-    selection: List[int] = []
-    for index in range(child.num_rows):
-        values = []
-        for column in columns:
-            if column is None:
-                continue
-            value = column[index]
-            if value is not MISSING and value is not None:
-                values.append(value)
-        if len(values) == len(set(values)):
-            selection.append(index)
-    ctx.charge_intermediate(len(selection))
-    return ColumnBatch(child.gather_columns(selection), len(selection))
+for _op_type, _factory in (
+    (ExpandEdge, rowwise.expand_edge),
+    (ExpandInto, rowwise.expand_into),
+    (ExpandIntersect, rowwise.expand_intersect),
+    (PathExpand, rowwise.path_expand),
+    (Filter, rowwise.filter_rows),
+    (AllDifferent, rowwise.all_different),
+):
+    registry.register_kernel(registry.MODE_VECTORIZED, _op_type,
+                             _rowwise_handler(_factory))
 
-
-_HANDLERS = {
-    ScanVertex: _execute_scan,
-    ExpandEdge: _execute_expand_edge,
-    ExpandInto: _execute_expand_into,
-    ExpandIntersect: _execute_expand_intersect,
-    PathExpand: _execute_path_expand,
-    HashJoin: _execute_hash_join,
-    Filter: _execute_filter,
-    Project: _execute_project,
-    Aggregate: _execute_aggregate,
-    Sort: _execute_sort,
-    Limit: _execute_limit,
-    Dedup: _execute_dedup,
-    Union: _execute_union,
-    AllDifferent: _execute_all_different,
-}
+registry.register_kernel(registry.MODE_VECTORIZED, ScanVertex, _execute_scan)
+registry.register_kernel(registry.MODE_VECTORIZED, Project, _execute_project)
+registry.register_kernel(registry.MODE_VECTORIZED, HashJoin, _execute_hash_join)
+registry.register_kernel(registry.MODE_VECTORIZED, Aggregate, _execute_aggregate)
+registry.register_kernel(registry.MODE_VECTORIZED, Sort, _execute_sort)
+registry.register_kernel(registry.MODE_VECTORIZED, Limit, _execute_limit)
+registry.register_kernel(registry.MODE_VECTORIZED, Dedup, _execute_dedup)
+registry.register_kernel(registry.MODE_VECTORIZED, Union, _execute_union)

@@ -15,7 +15,10 @@ class ResultCursor:
     Rows are produced on demand from the backend's streaming execution, so a
     consumer that stops early (``break``, :meth:`close`, :meth:`consume`)
     never pays -- in time, memory or work counters -- for rows it does not
-    pull.  A cursor can also wrap an already-materialized
+    pull.  Pipeline breakers (joins, aggregations, top-k sorts) execute
+    incrementally rather than materializing their subtrees, so even
+    breaker-heavy queries stream in bounded memory
+    (:attr:`peak_held_rows`).  A cursor can also wrap an already-materialized
     :class:`~repro.backend.ExecutionResult` (``Session.run(..., stream=False)``),
     which keeps the same interface with eager semantics.
 
@@ -120,6 +123,21 @@ class ResultCursor:
         if self._stream is not None:
             return self._stream.worker_busy
         return self._materialized.worker_busy
+
+    @property
+    def peak_held_rows(self) -> Optional[int]:
+        """Most rows any streaming pipeline breaker buffered at once.
+
+        Top-k sorts hold at most ``k`` rows, hash joins their left (build)
+        input while the right side streams, aggregations one entry per
+        group -- this is the observable bound on the cursor's memory
+        footprint beyond plain row delivery.  ``None`` for materialized
+        (``stream=False``) cursors, where the whole result was built eagerly
+        anyway.
+        """
+        if self._stream is not None:
+            return self._stream.peak_held_rows
+        return None
 
     # -- metadata ---------------------------------------------------------------
     @property
