@@ -37,10 +37,12 @@ over the service.)
 
 from repro.api import GOpt, OptimizedQuery
 from repro.backend.base import available_engines
+from repro.backend.runtime.context import CancellationToken
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import GraphSchema
 from repro.graph.types import AllType, BasicType, Direction, UnionType
 from repro.service import (
+    AdmissionController,
     ConcurrentExecutor,
     GraphService,
     PreparedQuery,
@@ -61,6 +63,8 @@ __all__ = [
     "PreparedQuery",
     "ResultCursor",
     "ConcurrentExecutor",
+    "AdmissionController",
+    "CancellationToken",
     "QueryRequest",
     "QueryOutcome",
     "PropertyGraph",

@@ -7,12 +7,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.backend.runtime.binding import ERef, PRef, VRef
-from repro.backend.runtime.context import ExecutionContext
-from repro.backend.runtime.dataflow import execute_dataflow, open_dataflow_stream
+from repro.backend.runtime.context import CancellationToken, ExecutionContext
+from repro.backend.runtime.dataflow import (
+    execute_dataflow,
+    open_dataflow_stream,
+    recover_on_row_engine,
+)
 from repro.backend.runtime.operators import execute_operator
 from repro.backend.runtime.streaming import stream_result_rows
 from repro.backend.runtime.vectorized import execute_vectorized
-from repro.errors import ExecutionTimeout, GOptError
+from repro.errors import CancelledError, ExecutionTimeout, GOptError, WorkerFailure
 from repro.graph.partition import GraphPartitioner
 from repro.graph.property_graph import PropertyGraph
 from repro.optimizer.physical_plan import PhysicalPlan
@@ -35,6 +39,12 @@ class ExecutionMetrics:
     operators_executed: int
     cells_produced: int = 0
     timed_out: bool = False
+    #: True when a dataflow worker failure was contained by re-executing the
+    #: plan on the single-threaded row engine; the counters then describe
+    #: the (serial) recovery execution, not the failed parallel attempt
+    degraded: bool = False
+    #: human-readable root cause of the degradation (None when not degraded)
+    degraded_reason: Optional[str] = None
 
     @property
     def total_work(self) -> int:
@@ -52,6 +62,7 @@ class ExecutionMetrics:
             "operators_executed": self.operators_executed,
             "cells_produced": self.cells_produced,
             "timed_out": self.timed_out,
+            "degraded": self.degraded,
         }
 
 
@@ -98,6 +109,7 @@ class StreamingResult:
         self._rows = rows
         self.backend = backend
         self.timed_out = False
+        self._close_requested = False
         self._finished = False
         self._elapsed: Optional[float] = None
 
@@ -116,12 +128,40 @@ class StreamingResult:
             self.timed_out = True
             self._finish()
             raise StopIteration from None
+        except CancelledError:
+            self._finish()
+            if self._close_requested:
+                # the consumer's own close() cancelled the token mid-pull:
+                # the stream simply ends (they asked for it; nothing is lost)
+                raise StopIteration from None
+            # an *external* cancel (executor shutdown, timeout escalation):
+            # a quiet end would present a truncated result as complete
+            raise
 
     def close(self) -> None:
-        """Stop the execution; rows not yet pulled are never produced."""
-        if not self._finished:
+        """Stop the execution; rows not yet pulled are never produced.
+
+        Idempotent and safe to call concurrently with an in-flight fetch:
+        the cancellation token unwinds whichever thread is inside the
+        pipeline at its next kernel-batch checkpoint, and a generator that
+        is mid-``next`` on another thread (which refuses ``close()``) ends
+        through that cooperative path instead.
+        """
+        if self._finished:
+            return
+        self._close_requested = True
+        self._ctx.cancel_token.cancel("cursor closed")
+        try:
             self._rows.close()
-            self._finish()
+        except ValueError:
+            # "generator already executing": another thread is mid-fetch;
+            # the cancelled token stops it at the next checkpoint
+            pass
+        except RuntimeError:
+            # generator.close() re-raising during interpreter edge cases --
+            # the token has already made the outcome terminal
+            pass
+        self._finish()
 
     def _finish(self) -> None:
         self._finished = True
@@ -168,6 +208,8 @@ class StreamingResult:
             operators_executed=counters.operators_executed,
             cells_produced=counters.cells_produced,
             timed_out=self.timed_out,
+            degraded=self._ctx.degraded is not None,
+            degraded_reason=self._ctx.degraded,
         )
 
 
@@ -223,6 +265,7 @@ class Backend:
         engine: str = "row",
         batch_size: int = 1024,
         workers: int = 4,
+        fallback_on_fault: bool = True,
     ):
         validate_engine(engine)
         if batch_size < 1:
@@ -235,6 +278,11 @@ class Backend:
         self.engine = engine
         self.batch_size = batch_size
         self.workers = workers
+        # infrastructure faults inside the dataflow engine degrade to a
+        # serial row-engine re-execution (``ExecutionMetrics.degraded``)
+        # instead of failing the query; set False to surface the typed
+        # ``WorkerFailure`` to the caller
+        self.fallback_on_fault = fallback_on_fault
 
     # subclasses override to provide a partitioner (distributed backends)
     def _partitioner(self) -> Optional[GraphPartitioner]:
@@ -254,13 +302,16 @@ class Backend:
         max_intermediate_results=_UNSET,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        cancel_token: Optional[CancellationToken] = None,
     ) -> ExecutionContext:
         """A fresh execution context, applying per-call budget overrides.
 
         The overrides exist for the session layer: sessions of one shared
         backend run with their own engine/timeout/budget/batch size/worker
         count without mutating the backend (which would race under
-        concurrent serving).
+        concurrent serving).  ``cancel_token`` lets a caller hold the
+        cancellation handle of this one execution (the admission layer
+        cancels in-flight queries on shutdown through it).
         """
         return ExecutionContext(
             self.graph,
@@ -273,6 +324,7 @@ class Backend:
             batch_size=batch_size if batch_size is not None else self.batch_size,
             parameters=parameters,
             workers=workers if workers is not None else self.workers,
+            cancel_token=cancel_token,
         )
 
     def execute(
@@ -284,6 +336,7 @@ class Backend:
         max_intermediate_results=_UNSET,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        cancel_token: Optional[CancellationToken] = None,
     ) -> ExecutionResult:
         """Interpret a physical plan, enforcing the time/intermediate budget.
 
@@ -294,11 +347,15 @@ class Backend:
         session layer).  ``parameters`` binds values for deferred ``$param``
         placeholders in prepared plans.  Plans exceeding the budget return an
         empty result flagged ``timed_out`` (the harness reports them as OT,
-        like the paper).
+        like the paper).  An infrastructure fault inside the dataflow engine
+        (a worker crash -- not a query error) degrades to a serial row-engine
+        re-execution when ``fallback_on_fault`` is set, flagged in
+        ``metrics.degraded``.
         """
         engine = self._resolve_engine(engine)
         ctx = self._make_context(parameters, timeout_seconds,
-                                 max_intermediate_results, batch_size, workers)
+                                 max_intermediate_results, batch_size, workers,
+                                 cancel_token)
         start = time.perf_counter()
         timed_out = False
         rows: List[dict] = []
@@ -306,7 +363,12 @@ class Backend:
             if engine == "vectorized":
                 rows = execute_vectorized(plan.root, ctx).to_rows()
             elif engine == "dataflow":
-                rows = execute_dataflow(plan.root, ctx)
+                try:
+                    rows = execute_dataflow(plan.root, ctx)
+                except WorkerFailure as failure:
+                    if not self.fallback_on_fault:
+                        raise
+                    rows = recover_on_row_engine(plan.root, ctx, failure)
             else:
                 rows = execute_operator(plan.root, ctx)
         except ExecutionTimeout:
@@ -322,6 +384,8 @@ class Backend:
             operators_executed=counters.operators_executed,
             cells_produced=counters.cells_produced,
             timed_out=timed_out,
+            degraded=ctx.degraded is not None,
+            degraded_reason=ctx.degraded,
         )
         return ExecutionResult(
             rows=rows, metrics=metrics, backend=self.name,
@@ -339,6 +403,7 @@ class Backend:
         max_intermediate_results=_UNSET,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        cancel_token: Optional[CancellationToken] = None,
     ) -> "StreamingResult":
         """Begin a lazy plan execution, returning a :class:`StreamingResult`.
 
@@ -357,9 +422,11 @@ class Backend:
         """
         engine = self._resolve_engine(engine)
         ctx = self._make_context(parameters, timeout_seconds,
-                                 max_intermediate_results, batch_size, workers)
+                                 max_intermediate_results, batch_size, workers,
+                                 cancel_token)
         if engine == "dataflow":
-            source = open_dataflow_stream(plan.root, ctx)
+            source = open_dataflow_stream(plan.root, ctx,
+                                          fallback=self.fallback_on_fault)
         else:
             source = stream_result_rows(plan.root, ctx, engine)
         return StreamingResult(ctx, source, backend=self.name)

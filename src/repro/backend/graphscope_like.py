@@ -31,9 +31,11 @@ class GraphScopeLikeBackend(Backend):
         engine: str = "row",
         batch_size: int = 1024,
         workers: int = 4,
+        fallback_on_fault: bool = True,
     ):
         super().__init__(graph, max_intermediate_results, timeout_seconds,
-                         engine=engine, batch_size=batch_size, workers=workers)
+                         engine=engine, batch_size=batch_size, workers=workers,
+                         fallback_on_fault=fallback_on_fault)
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.num_partitions = num_partitions

@@ -30,9 +30,11 @@ class Neo4jLikeBackend(Backend):
         engine: str = "row",
         batch_size: int = 1024,
         workers: int = 4,
+        fallback_on_fault: bool = True,
     ):
         super().__init__(graph, max_intermediate_results, timeout_seconds,
-                         engine=engine, batch_size=batch_size, workers=workers)
+                         engine=engine, batch_size=batch_size, workers=workers,
+                         fallback_on_fault=fallback_on_fault)
 
     def _partitioner(self) -> Optional[GraphPartitioner]:
         return None

@@ -2,15 +2,53 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.backend.runtime.binding import ERef, PRef, VRef
-from repro.errors import ExecutionError, ExecutionTimeout
+from repro.errors import CancelledError, ExecutionError, ExecutionTimeout
 from repro.gir.expressions import ExpressionEvaluator
 from repro.graph.partition import GraphPartitioner
 from repro.graph.property_graph import PropertyGraph
+
+
+class CancellationToken:
+    """A thread-safe flag requesting cooperative cancellation of one execution.
+
+    The token travels on the :class:`ExecutionContext` (worker forks share
+    their parent's token) and is probed at every deadline checkpoint, i.e.
+    at kernel-batch granularity in all four engines.  ``cancel()`` can be
+    called from any thread -- a client closing its cursor, the executor
+    shutting down -- and the next checkpoint raises
+    :class:`~repro.errors.CancelledError`, unwinding the execution and
+    releasing its worker threads.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request cancellation (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            if self.reason is None:
+                self.reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise CancelledError(
+                "execution cancelled%s" % (
+                    " (%s)" % self.reason if self.reason else ""),
+                reason=self.reason)
 
 
 @dataclass
@@ -56,6 +94,7 @@ class ExecutionContext:
         batch_size: int = 1024,
         parameters: Optional[Dict[str, object]] = None,
         workers: int = 1,
+        cancel_token: Optional[CancellationToken] = None,
     ):
         self.graph = graph
         self.partitioner = partitioner
@@ -90,6 +129,19 @@ class ExecutionContext:
         # interrupts driver-side operators at the same granularity as the
         # time budget (it raises to abort the execution)
         self.cancel_check = None
+        # cooperative cancellation: probed at every deadline checkpoint, so
+        # a cursor close / executor shutdown stops work within one kernel
+        # batch in every engine (worker forks share the parent's token)
+        self.cancel_token = cancel_token or CancellationToken()
+        # set (to a human-readable reason) when a dataflow worker failure was
+        # contained by re-executing the plan on the single-threaded row
+        # engine; surfaced as ``ExecutionMetrics.degraded``
+        self.degraded: Optional[str] = None
+        # cheap checkpoint counter: ``tick`` probes the deadline/cancellation
+        # once every ``batch_size`` units of otherwise-unaccounted work (e.g.
+        # scanned-but-rejected vertices), so long selective streams cannot
+        # outrun their budget between materialization points
+        self._ticks = 0
         # execute-time values for deferred $param placeholders (prepared plans)
         self.parameters: Dict[str, object] = dict(parameters or {})
         self._start_time = time.perf_counter()
@@ -141,6 +193,7 @@ class ExecutionContext:
             batch_size=self.batch_size,
             parameters=self.parameters,
             workers=1,
+            cancel_token=self.cancel_token,
         )
         child._start_time = self._start_time
         child._budget_hook = budget_hook
@@ -151,7 +204,22 @@ class ExecutionContext:
         if count > self.peak_held_rows:
             self.peak_held_rows = count
 
+    def tick(self, count: int = 1) -> None:
+        """Kernel-batch checkpoint for work that produces no charged rows.
+
+        Kernels call this once per consumed input unit (a probed scan
+        vertex, a replayed cached row); every ``batch_size`` ticks the full
+        deadline/cancellation check runs, bounding how long a selective
+        stream can run without noticing its budget or a cancel request.
+        """
+        self._ticks += count
+        if self._ticks >= self.batch_size:
+            self._ticks = 0
+            self.check_deadline()
+
     def check_deadline(self) -> None:
+        if self.cancel_token.cancelled:
+            self.cancel_token.raise_if_cancelled()
         if self.cancel_check is not None:
             self.cancel_check()
         if self.timeout_seconds is not None:

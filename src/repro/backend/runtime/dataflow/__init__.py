@@ -30,6 +30,7 @@ from repro.backend.runtime.dataflow.runtime import (
     DataflowRowStream,
     execute_dataflow,
     open_dataflow_stream,
+    recover_on_row_engine,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "morselize",
     "open_dataflow_stream",
     "plan_refcounts",
+    "recover_on_row_engine",
 ]

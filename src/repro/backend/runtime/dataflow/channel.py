@@ -24,6 +24,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.runtime.columnar import ColumnBatch
+from repro.testing.faults import fault_point
 
 #: lineage tuple: global source index followed by per-operator output indices
 Seq = Tuple[int, ...]
@@ -80,6 +81,13 @@ class Channel:
     ``close()`` marks the producing side finished; a consumer seeing an empty,
     closed channel knows its input is exhausted.  Puts and gets never block --
     the dataflow scheduler owns the retry policy.
+
+    A failing producer *poisons* its channels instead of merely closing
+    them: buffered morsels are discarded, further puts are swallowed, and
+    consumers see the channel exhausted immediately -- so peers of a failed
+    worker unwind promptly instead of draining doomed partial results.  The
+    root-cause error travels to the driver separately (it is not re-raised
+    per consumer).
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
@@ -89,16 +97,23 @@ class Channel:
         self._queue: deque = deque()
         self._lock = threading.Lock()
         self._closed = False
+        self._poisoned: Optional[BaseException] = None
 
     def try_put(self, morsel: Morsel) -> bool:
         """Append a morsel if there is room; False means backpressure."""
+        if fault_point("channel.put") == "stall":
+            return False  # injected backpressure: the scheduler will retry
         with self._lock:
+            if self._poisoned is not None:
+                return True  # swallow: the segment is unwinding
             if len(self._queue) >= self.capacity:
                 return False
             self._queue.append(morsel)
             return True
 
     def try_get(self) -> Optional[Morsel]:
+        if fault_point("channel.get") == "stall":
+            return None  # injected slow link: looks momentarily empty
         with self._lock:
             if self._queue:
                 return self._queue.popleft()
@@ -108,6 +123,18 @@ class Channel:
         """Mark the producing side done (idempotent)."""
         with self._lock:
             self._closed = True
+
+    def poison(self, error: BaseException) -> None:
+        """Kill the channel after a producer failure (idempotent).
+
+        Consumers observe it closed and empty at once; whatever was buffered
+        is dropped (partial results of a failed segment must not surface).
+        """
+        with self._lock:
+            if self._poisoned is None:
+                self._poisoned = error
+            self._closed = True
+            self._queue.clear()
 
     def drain(self) -> List[Morsel]:
         """Remove and return everything buffered (used on cancellation)."""
@@ -120,9 +147,15 @@ class Channel:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def poisoned(self) -> Optional[BaseException]:
+        return self._poisoned
+
     def exhausted(self) -> bool:
         """True when no morsel is buffered and no producer remains."""
         with self._lock:
+            if self._poisoned is not None:
+                return True
             return self._closed and not self._queue
 
     def __len__(self) -> int:

@@ -54,9 +54,10 @@ from repro.backend.runtime.dataflow.steps import charge_outputs
 from repro.backend.runtime.kernels import registry
 from repro.backend.runtime.kernels.common import Row, merge_rows
 from repro.backend.runtime.operators import execute_operator
-from repro.errors import ExecutionTimeout
+from repro.errors import CancelledError, ExecutionTimeout, GOptError, WorkerFailure
 from repro.graph.partition import GraphPartitioner
 from repro.optimizer.physical_plan import HashJoin, PhysicalOperator
+from repro.testing.faults import fault_point
 
 #: build sides larger than this are not broadcast (the driver handler joins
 #: gathered rows instead); generous for the repo's simulated graph sizes
@@ -177,6 +178,8 @@ class _Actor:
     def _process(self, chunk: List) -> List[Pair]:
         data = chunk
         for spec in self.pipeline.steps:
+            fault_point("worker.kernel", op=type(spec.op).__name__,
+                        stage=self.stage, partition=self.partition)
             kernel = registry.kernel_for(registry.MODE_DATAFLOW, type(spec.op))
             data = kernel(spec.op, self.fork, data)
             charge_outputs(self.fork, data)
@@ -189,6 +192,8 @@ class _Actor:
             return
         runner = self.runner
         exchange = self.pipeline.out_exchange
+        fault_point("exchange.route", stage=self.stage, partition=self.partition,
+                    priced=bool(exchange is not None and exchange.priced))
         if exchange is None:
             runner.deliver_output(self.partition, pairs)
             return
@@ -275,6 +280,19 @@ class _SegmentRunner:
                 channel.close()
                 channel.drain()
 
+    def poison_all(self, error: BaseException) -> None:
+        """A worker failed: kill every channel so peers unwind promptly.
+
+        Poisoned channels read as exhausted and swallow further puts, so no
+        actor can block on -- or keep filling -- a queue whose segment is
+        already doomed; partial morsels are discarded on the spot.
+        """
+        for stage_channels in self.channels:
+            if stage_channels is None:
+                continue
+            for channel in stage_channels:
+                channel.poison(error)
+
     # -- setup -----------------------------------------------------------------
     def build_actors(self, sources: List[List]) -> None:
         for stage, pipeline in enumerate(self.pipelines):
@@ -318,6 +336,7 @@ class DataflowExecutor:
         self.worker_busy = [0.0] * self.num_threads
         self._cancel = threading.Event()
         self._error: Optional[BaseException] = None
+        self._error_worker = -1
         self._error_lock = threading.Lock()
         self.refcounts: Dict[int, int] = {}
 
@@ -330,6 +349,11 @@ class DataflowExecutor:
         self.ctx.cancel_check = self._check_cancelled
         try:
             return self._node(root)
+        except (GOptError, _CancelledError):
+            raise
+        except Exception as error:  # noqa: BLE001 - driver-side infra fault
+            self._error_worker = -1
+            raise self._wrap_failure(error) from error
         finally:
             self.ctx.cancel_check = None
             self.ctx.exchange_stats = self.stats
@@ -339,7 +363,7 @@ class DataflowExecutor:
         self._cancel.set()
 
     def cancelled(self) -> bool:
-        return self._cancel.is_set()
+        return self._cancel.is_set() or self.ctx.cancel_token.cancelled
 
     def partition_of(self, vertex_id: int) -> int:
         return self._exec_partitioner.partition_of(vertex_id)
@@ -367,6 +391,7 @@ class DataflowExecutor:
         return execute_operator(op, self.ctx)
 
     def _check_cancelled(self) -> None:
+        self.ctx.cancel_token.raise_if_cancelled()
         if self._cancel.is_set():
             raise _CancelledError()
 
@@ -406,7 +431,7 @@ class DataflowExecutor:
             runner.drain()
         if self._error is not None:
             error, self._error = self._error, None
-            raise error
+            raise self._wrap_failure(error)
         self._check_cancelled()
         if not gather:
             return runner.output
@@ -414,6 +439,7 @@ class DataflowExecutor:
         for partition_pairs in runner.output:
             pairs.extend(partition_pairs)
         self._check_cancelled()
+        fault_point("driver.gather")
         self.stats.record_gather(len(pairs))
         pairs.sort(key=lambda pair: pair[0])
         return [row for _, row in pairs]
@@ -436,7 +462,7 @@ class DataflowExecutor:
     def _worker_loop(self, slot: int, runner: _SegmentRunner) -> None:
         actors = runner.actors
         lock = runner._lock
-        while not self._cancel.is_set():
+        while not self.cancelled():
             claimed = None
             with lock:
                 for actor in actors:
@@ -453,17 +479,41 @@ class DataflowExecutor:
             try:
                 claimed.quantum()
             except BaseException as error:  # noqa: BLE001 - forwarded to driver
-                self._fail(error)
+                self._fail(error, worker_id=slot)
+                runner.poison_all(error)
             finally:
                 self.worker_busy[slot] += time.thread_time() - started
                 with lock:
                     claimed.claimed = False
 
-    def _fail(self, error: BaseException) -> None:
+    def _fail(self, error: BaseException, worker_id: int = -1) -> None:
         with self._error_lock:
             if self._error is None:
                 self._error = error
+                self._error_worker = worker_id
         self._cancel.set()
+
+    def _wrap_failure(self, error: BaseException) -> BaseException:
+        """Type a surfaced execution error.
+
+        Query errors (``GOptError``: timeouts, budget overruns, bad
+        parameters) and cancellations pass through untouched -- they mean
+        what they say.  Anything else is an *infrastructure* fault: it is
+        wrapped in :class:`~repro.errors.WorkerFailure` carrying the failing
+        worker's id and the partial exchange traffic observed so far, which
+        is what the backend's degraded-re-execution path dispatches on.
+        """
+        if isinstance(error, (GOptError, _CancelledError)):
+            return error
+        return WorkerFailure(
+            "dataflow %s failed: %s: %s" % (
+                "driver" if self._error_worker < 0
+                else "worker %d" % self._error_worker,
+                type(error).__name__, error),
+            worker_id=self._error_worker,
+            exchange_stats=self.stats.snapshot(),
+            cause=error,
+        )
 
     # -- broadcast hash join ---------------------------------------------------
     def _try_broadcast_join(self, op: HashJoin) -> Optional[List[Row]]:
@@ -553,11 +603,13 @@ class DataflowExecutor:
                 try:
                     task(partition)
                 except BaseException as error:  # noqa: BLE001
-                    self._fail(error)
+                    self._fail(error, worker_id=slot)
                 finally:
                     self.worker_busy[slot] += time.thread_time() - started
 
-        threads = [threading.Thread(target=loop, args=(slot,), daemon=True)
+        threads = [threading.Thread(target=loop, args=(slot,),
+                                    name="dataflow-partition-%d" % slot,
+                                    daemon=True)
                    for slot in range(self.num_threads)]
         for thread in threads:
             thread.start()
@@ -565,12 +617,43 @@ class DataflowExecutor:
             thread.join()
         if self._error is not None:
             error, self._error = self._error, None
-            raise error
+            raise self._wrap_failure(error)
 
 
 def execute_dataflow(root: PhysicalOperator, ctx: ExecutionContext) -> List[Row]:
     """Execute a physical plan on the partition-parallel dataflow runtime."""
     return DataflowExecutor(ctx).run(root)
+
+
+def recover_on_row_engine(root: PhysicalOperator, ctx: ExecutionContext,
+                          failure: WorkerFailure) -> List[Row]:
+    """Contain a dataflow infrastructure fault by serial re-execution.
+
+    Partial results and the partial run's counters are discarded; the plan
+    re-executes on the single-threaded row engine in a fresh context that
+    shares the original deadline clock, budget and cancellation token -- a
+    degraded result still lands *within the query's deadline* or times out
+    like any other execution.  On success the original context adopts the
+    recovery counters and records why it degraded
+    (``ExecutionMetrics.degraded``); the partial exchange stats of the
+    failed attempt remain observable on the failure and the context.
+    """
+    recovery = ExecutionContext(
+        ctx.graph,
+        partitioner=ctx.partitioner,
+        max_intermediate_results=ctx.max_intermediate_results,
+        timeout_seconds=ctx.timeout_seconds,
+        batch_size=ctx.batch_size,
+        parameters=ctx.parameters,
+        workers=1,
+        cancel_token=ctx.cancel_token,
+    )
+    recovery._start_time = ctx._start_time
+    rows = execute_operator(root, recovery)
+    ctx.counters = recovery.counters
+    ctx.peak_held_rows = recovery.peak_held_rows
+    ctx.degraded = str(failure)
+    return rows
 
 
 class DataflowRowStream:
@@ -583,8 +666,10 @@ class DataflowRowStream:
     channel is drained, which the stress tests rely on for deadlock-freedom.
     """
 
-    def __init__(self, root: PhysicalOperator, ctx: ExecutionContext):
+    def __init__(self, root: PhysicalOperator, ctx: ExecutionContext,
+                 fallback: bool = True):
         self._executor = DataflowExecutor(ctx)
+        self._fallback = fallback
         self._rows: Optional[List[Row]] = None
         self._error: Optional[BaseException] = None
         self._index = 0
@@ -597,12 +682,39 @@ class DataflowRowStream:
     def _drive(self, root: PhysicalOperator) -> None:
         try:
             self._rows = self._executor.run(root)
-        except _CancelledError:
+        except (_CancelledError, CancelledError) as error:
             self._rows = []
+            self._note_cancelled(error)
+        except WorkerFailure as failure:
+            if not self._fallback:
+                self._error = failure
+            else:
+                # infrastructure fault: contain it by re-executing serially
+                # (query errors never reach here -- they are not wrapped)
+                try:
+                    self._rows = recover_on_row_engine(
+                        root, self._executor.ctx, failure)
+                except (_CancelledError, CancelledError) as error:
+                    self._rows = []
+                    self._note_cancelled(error)
+                except BaseException as error:  # noqa: BLE001
+                    self._error = error
         except BaseException as error:  # noqa: BLE001 - re-raised on next()
             self._error = error
         finally:
             self._finished.set()
+
+    def _note_cancelled(self, error: BaseException) -> None:
+        """An early close() ends quietly; an external cancel must surface.
+
+        Swallowing an executor-shutdown cancel would present the truncated
+        (here: empty) result as a complete one, so unless this stream's own
+        ``close()`` initiated the cancellation, the error is kept for the
+        consumer's next pull.
+        """
+        if not self._closed:
+            self._error = (error if isinstance(error, CancelledError)
+                           else CancelledError("execution cancelled"))
 
     def __iter__(self) -> "DataflowRowStream":
         return self
@@ -625,6 +737,7 @@ class DataflowRowStream:
         if self._closed:
             return
         self._closed = True
+        self._executor.ctx.cancel_token.cancel("cursor closed")
         self._executor.cancel()
         # workers notice the cancel at morsel boundaries and driver operators
         # on their deadline checks; only a single uninterruptible primitive
@@ -633,7 +746,7 @@ class DataflowRowStream:
         self._thread.join(timeout=30.0)
 
 
-def open_dataflow_stream(root: PhysicalOperator,
-                         ctx: ExecutionContext) -> DataflowRowStream:
+def open_dataflow_stream(root: PhysicalOperator, ctx: ExecutionContext,
+                         fallback: bool = True) -> DataflowRowStream:
     """Begin a dataflow execution whose rows are consumed lazily."""
-    return DataflowRowStream(root, ctx)
+    return DataflowRowStream(root, ctx, fallback=fallback)

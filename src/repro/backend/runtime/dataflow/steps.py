@@ -122,6 +122,10 @@ def _chunk_kernel(factory):
         process = factory(op, ctx)
         sink = _PairSink()
         for seq, row in pairs:
+            # cooperative checkpoint per consumed row: a cancel/deadline
+            # lands mid-chunk, so cancellation stops a worker within one
+            # morsel batch even through filter-heavy kernels
+            ctx.tick()
             sink.seq = seq
             sink.base = row
             sink.emitted = 0

@@ -46,6 +46,10 @@ def scan_vertex(op, ctx):
     counters = ctx.counters
 
     def process(vid, sink):
+        # ``tick`` (not a full check) keeps the rejected-probe path cheap
+        # while bounding how many candidates a selective scan can burn
+        # between deadline/cancellation checks to one kernel batch
+        ctx.tick()
         counters.vertices_scanned += 1
         if vertex_matches(ctx, vid, op.constraint, op.predicates, op.tag):
             retrieve_properties(ctx, vid, op.columns)

@@ -63,6 +63,7 @@ from repro.backend.runtime.kernels.state import (
 from repro.backend.runtime.operators import execute_operator
 from repro.backend.runtime.vectorized import execute_vectorized
 from repro.gir.expressions import TagRef
+from repro.testing.faults import fault_point
 from repro.optimizer.physical_plan import (
     Aggregate,
     AllDifferent,
@@ -95,8 +96,11 @@ def stream_rows(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[Row]:
     """
     cached = ctx.cached_result(id(op))
     if cached is not None:
-        # subtree already materialized in this execution: replay, cost charged
-        yield from cached
+        # subtree already materialized in this execution: replay, cost
+        # charged; replayed rows tick so long replays stay interruptible
+        for row in cached:
+            ctx.tick()
+            yield row
         return
     if id(op) in ctx.shared_op_ids:
         # shared subtree (ComSubPattern): materialize once into the operator
@@ -108,6 +112,7 @@ def stream_rows(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[Row]:
         # declared fallback: materialize the subtree with the row engine
         yield from execute_operator(op, ctx)
         return
+    fault_point("stream.kernel", op=type(op).__name__)
     ctx.counters.operators_executed += 1
     for row in handler(op, ctx):
         ctx.charge_intermediate(1)
@@ -253,6 +258,7 @@ def stream_batches(op: PhysicalOperator, ctx: ExecutionContext) -> Iterator[Colu
         if batch.num_rows:
             yield batch
         return
+    fault_point("stream.kernel", op=type(op).__name__)
     ctx.counters.operators_executed += 1
     for batch in handler(op, ctx):
         if not batch.num_rows:

@@ -48,3 +48,58 @@ class ExecutionTimeout(ExecutionError):
     def __init__(self, message, metrics=None):
         super().__init__(message)
         self.metrics = metrics
+
+
+class CancelledError(ExecutionError):
+    """Raised when an execution is cooperatively cancelled.
+
+    Cancellation is requested through a
+    :class:`~repro.backend.runtime.context.CancellationToken` (early
+    ``ResultCursor.close()``, executor shutdown, an explicit
+    ``token.cancel()``) and lands at the next kernel-batch checkpoint of
+    whichever engine runs the plan, so cancelled work releases its worker
+    threads instead of racing to completion.
+    """
+
+    def __init__(self, message="execution cancelled", reason=None):
+        super().__init__(message)
+        #: what requested the cancellation (free-form, for diagnostics)
+        self.reason = reason
+
+
+class ServiceOverloadedError(GOptError):
+    """Fast rejection: the serving layer is saturated; retry later.
+
+    Raised by admission control when the bounded queue is full, a client
+    exceeded its concurrency quota, or a request aged out of the queue
+    before a worker picked it up.  ``retry_after_seconds`` is the server's
+    backoff hint; clients should wait at least that long before retrying.
+    """
+
+    def __init__(self, message, retry_after_seconds=0.1):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class WorkerFailure(ExecutionError):
+    """An infrastructure fault inside a dataflow worker or driver.
+
+    Distinct from *query* errors (which are ``GOptError`` subclasses raised
+    by the plan itself, e.g. a missing parameter): a ``WorkerFailure`` wraps
+    an unexpected non-GOpt exception raised while executing a plan fragment.
+    The dataflow executor poisons the failing worker's output channels so
+    peers unwind promptly, discards partial results, and surfaces this --
+    and the backend may then degrade gracefully by re-executing the plan on
+    the single-threaded row engine (``ExecutionMetrics.degraded``).
+
+    Attributes:
+        worker_id: index of the worker thread that failed (-1 for the driver).
+        exchange_stats: partial observed exchange traffic up to the failure.
+        cause: the original exception.
+    """
+
+    def __init__(self, message, worker_id=-1, exchange_stats=None, cause=None):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.exchange_stats = exchange_stats
+        self.cause = cause

@@ -16,18 +16,30 @@ driver/session architecture of real graph stores:
   streaming interpreters, so bounded-memory consumption of large results is
   the default;
 * :class:`ConcurrentExecutor` fans query workloads over a thread pool of
-  sessions with per-query deadlines.
+  sessions with per-query deadlines, cooperative cancellation
+  (``shutdown(cancel=True)``) and bounded retry of infrastructure faults;
+* :class:`AdmissionController` bounds the executor's intake -- queue depth,
+  per-client quotas and queue-time deadlines -- fast-rejecting excess load
+  with :class:`~repro.errors.ServiceOverloadedError` and a retry-after hint.
 
 The legacy :class:`repro.api.GOpt` facade is a thin compatibility shim over
 this subsystem.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionStats,
+    AdmissionTicket,
+)
 from repro.service.cursor import ResultCursor
 from repro.service.executor import ConcurrentExecutor, QueryOutcome, QueryRequest
 from repro.service.service import GraphService
 from repro.service.session import PreparedQuery, Session
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AdmissionTicket",
     "GraphService",
     "Session",
     "PreparedQuery",

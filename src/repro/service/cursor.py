@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional
 
 from repro.backend.base import ExecutionMetrics, ExecutionResult, StreamingResult
@@ -37,6 +38,7 @@ class ResultCursor:
     ):
         self._report = report
         self._closed = False
+        self._close_lock = threading.Lock()
         if isinstance(source, ExecutionResult):
             self._stream: Optional[StreamingResult] = None
             self._materialized: Optional[ExecutionResult] = source
@@ -80,10 +82,18 @@ class ResultCursor:
 
     # -- lifecycle --------------------------------------------------------------
     def close(self) -> None:
-        """Stop the execution early; unpulled rows are never produced."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop the execution early; unpulled rows are never produced.
+
+        Idempotent, and safe to call from another thread while a fetch is in
+        flight: the closed flag flips exactly once under a lock, and the
+        underlying stream's cancellation token unwinds an in-flight pull at
+        its next kernel-batch checkpoint (the concurrent fetch observes
+        ``StopIteration``, never a torn row).
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._stream is not None:
             self._stream.close()
 

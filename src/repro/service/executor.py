@@ -2,21 +2,35 @@
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.backend.base import ExecutionMetrics, _UNSET
-from repro.errors import GOptError
+from repro.backend.runtime.context import CancellationToken
+from repro.errors import GOptError, ServiceOverloadedError, WorkerFailure
+from repro.service.admission import AdmissionController, AdmissionStats, AdmissionTicket
+from repro.testing.faults import fault_point
+
+#: how many times run_all() re-attempts a fast-rejected submission before
+#: giving up and reporting the overload as the query's outcome
+_RUN_ALL_ADMISSION_ATTEMPTS = 50
 
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One query of a concurrent workload."""
+    """One query of a concurrent workload.
+
+    ``client`` identifies the submitting principal for per-client admission
+    quotas; requests without one are only subject to the global queue bound.
+    """
 
     query: str
     language: str = "cypher"
     parameters: Optional[Dict[str, object]] = None
+    client: Optional[str] = None
 
 
 @dataclass
@@ -27,6 +41,8 @@ class QueryOutcome:
     rows: List[dict] = field(default_factory=list)
     metrics: Optional[ExecutionMetrics] = None
     error: Optional[str] = None
+    attempts: int = 1
+    retry_after_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -35,6 +51,16 @@ class QueryOutcome:
     @property
     def timed_out(self) -> bool:
         return bool(self.metrics is not None and self.metrics.timed_out)
+
+    @property
+    def rejected(self) -> bool:
+        """Whether the request was refused or expired by admission control."""
+        return self.retry_after_seconds is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the rows came from the row-engine degradation path."""
+        return bool(self.metrics is not None and self.metrics.degraded)
 
 
 class ConcurrentExecutor:
@@ -46,6 +72,24 @@ class ConcurrentExecutor:
     query (``QueryOutcome.error``) instead of tearing the pool down, and a
     query that exceeds its deadline reports ``timed_out`` like any other
     over-budget execution.
+
+    Overload protection is opt-in: passing ``max_queue_depth``,
+    ``queue_timeout_seconds`` or ``per_client_limit`` (or a shared
+    :class:`~repro.service.admission.AdmissionController`) bounds the
+    admission queue -- :meth:`submit` then fast-rejects with
+    :class:`~repro.errors.ServiceOverloadedError` (carrying a retry-after
+    hint) instead of queueing without limit, and requests that age out
+    before a worker picks them up are dropped unexecuted.  With none of
+    these set, submission is unbounded (the legacy behavior).
+
+    ``max_retries`` re-runs a query that failed with an *infrastructure*
+    fault (:class:`~repro.errors.WorkerFailure`) after an exponential
+    backoff; query errors (bad syntax, timeouts, cancellation) are never
+    retried -- they would fail identically.
+
+    Every in-flight query carries a cancellation token;
+    ``shutdown(cancel=True)`` cancels them all, so draining the pool waits
+    one kernel batch, not one query.
 
     Usable as a context manager::
 
@@ -60,15 +104,50 @@ class ConcurrentExecutor:
         deadline_seconds=_UNSET,
         engine: Optional[str] = None,
         stream: bool = True,
+        max_queue_depth: Optional[int] = None,
+        queue_timeout_seconds: Optional[float] = None,
+        per_client_limit: Optional[int] = None,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 0.05,
+        admission: Optional[AdmissionController] = None,
     ):
         if max_workers < 1:
             raise GOptError("max_workers must be >= 1")
+        if max_retries < 0:
+            raise GOptError("max_retries must be >= 0")
         self._service = service
         self._deadline_seconds = deadline_seconds
         self._engine = engine
         self._stream = stream
+        self._max_retries = max_retries
+        self._retry_backoff = retry_backoff_seconds
+        if admission is not None:
+            self._admission: Optional[AdmissionController] = admission
+        elif (max_queue_depth is not None or queue_timeout_seconds is not None
+                or per_client_limit is not None):
+            self._admission = AdmissionController(
+                max_concurrent=max_workers,
+                max_queue_depth=max_queue_depth,
+                queue_timeout_seconds=queue_timeout_seconds,
+                per_client_limit=per_client_limit,
+            )
+        else:
+            self._admission = None
+        self._active_lock = threading.Lock()
+        self._active_tokens: Set[CancellationToken] = set()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve")
+
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        """The executor's admission controller (``None`` when unbounded)."""
+        return self._admission
+
+    def admission_stats(self) -> Optional[AdmissionStats]:
+        """Admission decisions so far (``None`` when admission is disabled)."""
+        if self._admission is None:
+            return None
+        return self._admission.stats()
 
     # -- submission --------------------------------------------------------------
     def submit(
@@ -76,35 +155,138 @@ class ConcurrentExecutor:
         query: Union[str, QueryRequest],
         language: str = "cypher",
         parameters: Optional[Dict[str, object]] = None,
+        client: Optional[str] = None,
     ) -> "Future[QueryOutcome]":
-        """Schedule one query; returns a future resolving to its outcome."""
+        """Schedule one query; returns a future resolving to its outcome.
+
+        When admission control is configured and the bounded queue is full
+        (or the client over quota), raises
+        :class:`~repro.errors.ServiceOverloadedError` *here*, on the
+        submitting thread -- the rejected request costs the service nothing.
+        """
         request = (query if isinstance(query, QueryRequest)
-                   else QueryRequest(query, language, parameters))
-        return self._pool.submit(self._serve_one, request)
+                   else QueryRequest(query, language, parameters, client))
+        ticket: Optional[AdmissionTicket] = None
+        if self._admission is not None:
+            ticket = self._admission.admit(request.client)
+        try:
+            return self._pool.submit(self._serve_one, request, ticket)
+        except BaseException:
+            if ticket is not None:
+                self._admission.finish(ticket)
+            raise
 
     def run_all(self, requests: Sequence[Union[str, QueryRequest]]) -> List[QueryOutcome]:
-        """Run a workload to completion, preserving request order."""
-        futures = [self.submit(request) for request in requests]
+        """Run a workload to completion, preserving request order.
+
+        Submissions fast-rejected by admission control are retried after the
+        rejection's ``retry_after_seconds`` hint (bounded attempts); a
+        request still refused after that reports the overload as its
+        outcome instead of raising.
+        """
+        futures = [self._submit_patiently(request) for request in requests]
         return [future.result() for future in futures]
 
+    def _submit_patiently(
+        self, query: Union[str, QueryRequest],
+    ) -> "Future[QueryOutcome]":
+        last: Optional[ServiceOverloadedError] = None
+        for _ in range(_RUN_ALL_ADMISSION_ATTEMPTS):
+            try:
+                return self.submit(query)
+            except ServiceOverloadedError as exc:
+                last = exc
+                time.sleep(exc.retry_after_seconds)
+        request = (query if isinstance(query, QueryRequest)
+                   else QueryRequest(query))
+        future: "Future[QueryOutcome]" = Future()
+        future.set_result(QueryOutcome(
+            request=request,
+            error="ServiceOverloadedError: %s" % (last,),
+            retry_after_seconds=last.retry_after_seconds))
+        return future
+
     # -- worker ------------------------------------------------------------------
-    def _serve_one(self, request: QueryRequest) -> QueryOutcome:
+    def _serve_one(
+        self,
+        request: QueryRequest,
+        ticket: Optional[AdmissionTicket] = None,
+    ) -> QueryOutcome:
         try:
-            with self._service.session(
-                engine=self._engine,
-                timeout_seconds=self._deadline_seconds,
-            ) as session:
-                cursor = session.run(request.query, request.language,
-                                     request.parameters, stream=self._stream)
-                rows = cursor.fetch_all()
-                metrics = cursor.consume()
-                return QueryOutcome(request=request, rows=rows, metrics=metrics)
-        except Exception as exc:  # noqa: BLE001 - per-query fault isolation
-            return QueryOutcome(request=request, error="%s: %s"
-                                % (type(exc).__name__, exc))
+            if ticket is not None:
+                try:
+                    self._admission.begin(ticket)
+                except ServiceOverloadedError as exc:
+                    return QueryOutcome(
+                        request=request,
+                        error="ServiceOverloadedError: %s" % (exc,),
+                        retry_after_seconds=exc.retry_after_seconds)
+            return self._attempt_with_retries(request)
+        finally:
+            if ticket is not None:
+                self._admission.finish(ticket)
+
+    def _attempt_with_retries(self, request: QueryRequest) -> QueryOutcome:
+        attempts = self._max_retries + 1
+        for attempt in range(1, attempts + 1):
+            token = CancellationToken()
+            with self._active_lock:
+                self._active_tokens.add(token)
+            try:
+                fault_point("service.execute", attempt=attempt,
+                            client=request.client)
+                with self._service.session(
+                    engine=self._engine,
+                    timeout_seconds=self._deadline_seconds,
+                ) as session:
+                    cursor = session.run(request.query, request.language,
+                                         request.parameters, stream=self._stream,
+                                         cancel_token=token)
+                    rows = cursor.fetch_all()
+                    metrics = cursor.consume()
+                    return QueryOutcome(request=request, rows=rows,
+                                        metrics=metrics, attempts=attempt)
+            except WorkerFailure as exc:
+                # infrastructure fault: transient by assumption, worth a
+                # bounded re-run -- unless this execution was cancelled
+                if attempt < attempts and not token.cancelled:
+                    time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
+                    continue
+                return QueryOutcome(request=request, attempts=attempt,
+                                    error="%s: %s" % (type(exc).__name__, exc))
+            except Exception as exc:  # noqa: BLE001 - per-query fault isolation
+                return QueryOutcome(request=request, attempts=attempt,
+                                    error="%s: %s" % (type(exc).__name__, exc))
+            finally:
+                with self._active_lock:
+                    self._active_tokens.discard(token)
+        raise AssertionError("unreachable: retry loop always returns")
 
     # -- lifecycle ---------------------------------------------------------------
-    def shutdown(self, wait: bool = True) -> None:
+    def cancel_all(self, reason: str = "executor shutdown") -> int:
+        """Cancel every in-flight query; returns how many tokens were signalled.
+
+        Each running execution unwinds cooperatively at its next
+        kernel-batch checkpoint and reports ``CancelledError`` as its
+        outcome's error.
+        """
+        with self._active_lock:
+            tokens = list(self._active_tokens)
+        for token in tokens:
+            token.cancel(reason)
+        return len(tokens)
+
+    def shutdown(self, wait: bool = True, cancel: bool = False) -> None:
+        """Stop accepting work and (optionally) cancel in-flight queries.
+
+        With ``cancel=True``, queued-but-unstarted requests are dropped and
+        running executions are cancelled cooperatively, so ``wait=True``
+        returns within about one kernel batch instead of one query.
+        """
+        if cancel:
+            self.cancel_all("service shutdown")
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            return
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "ConcurrentExecutor":

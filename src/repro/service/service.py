@@ -141,6 +141,21 @@ class GraphService:
                        max_intermediate_results=max_intermediate_results,
                        batch_size=batch_size, workers=workers)
 
+    def executor(self, max_workers: int = 8, **options) -> "ConcurrentExecutor":
+        """Open a :class:`~repro.service.ConcurrentExecutor` over this service.
+
+        ``options`` are forwarded verbatim -- notably the admission-control
+        knobs (``max_queue_depth``, ``queue_timeout_seconds``,
+        ``per_client_limit``) and retry policy (``max_retries``,
+        ``retry_backoff_seconds``)::
+
+            with service.executor(max_workers=4, max_queue_depth=16) as ex:
+                outcomes = ex.run_all(requests)
+        """
+        from repro.service.executor import ConcurrentExecutor
+
+        return ConcurrentExecutor(self, max_workers=max_workers, **options)
+
     # -- plan cache ------------------------------------------------------------
     def cache_info(self) -> PlanCacheInfo:
         """Hit/miss/size/eviction accounting of the shared plan cache.

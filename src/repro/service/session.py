@@ -105,6 +105,7 @@ class Session:
         language: str = "cypher",
         parameters: Optional[Dict[str, object]] = None,
         stream: bool = True,
+        cancel_token=None,
     ) -> ResultCursor:
         """Execute a query, returning a lazy :class:`ResultCursor`.
 
@@ -112,16 +113,20 @@ class Session:
         machinery, so repeated templates share one type-keyed plan.  With
         ``stream=True`` (the default) rows are produced on demand by the
         streaming interpreters; ``stream=False`` materializes eagerly (the
-        cursor interface is identical).
+        cursor interface is identical).  A caller-supplied
+        :class:`~repro.backend.runtime.context.CancellationToken` lets
+        another thread (a serving layer, a shutdown path) stop the
+        execution cooperatively at its next kernel-batch checkpoint.
         """
         self._check_open()
         if isinstance(query, LogicalPlan):
             report = self._service.optimizer.optimize(query)
-            return self._execute_report(report, None, stream)
+            return self._execute_report(report, None, stream, cancel_token)
         if parameters:
-            return self.prepare(query, language).run(parameters, stream=stream)
+            return self.prepare(query, language).run(
+                parameters, stream=stream, cancel_token=cancel_token)
         report = self._service.optimize(query, language, None, engine=self.engine)
-        return self._execute_report(report, None, stream)
+        return self._execute_report(report, None, stream, cancel_token)
 
     def explain(
         self,
@@ -142,6 +147,7 @@ class Session:
         report: OptimizationReport,
         parameters: Optional[Dict[str, object]],
         stream: bool,
+        cancel_token=None,
     ) -> ResultCursor:
         backend = self._service.backend
         if stream:
@@ -153,6 +159,7 @@ class Session:
                 max_intermediate_results=self._max_intermediate_results,
                 batch_size=self._batch_size,
                 workers=self._workers,
+                cancel_token=cancel_token,
             )
         else:
             source = backend.execute(
@@ -163,6 +170,7 @@ class Session:
                 max_intermediate_results=self._max_intermediate_results,
                 batch_size=self._batch_size,
                 workers=self._workers,
+                cancel_token=cancel_token,
             )
         return ResultCursor(source, report=report)
 
@@ -226,12 +234,14 @@ class PreparedQuery:
         self,
         parameters: Optional[Dict[str, object]] = None,
         stream: bool = True,
+        cancel_token=None,
     ) -> ResultCursor:
         """Execute the template with one parameter value set."""
         self._session._check_open()
         report = self._report(parameters)
         execute_parameters = parameters if self.deferred else None
-        return self._session._execute_report(report, execute_parameters, stream)
+        return self._session._execute_report(
+            report, execute_parameters, stream, cancel_token)
 
     def explain(self, parameters: Optional[Dict[str, object]] = None) -> str:
         """The optimized plan this template executes with.

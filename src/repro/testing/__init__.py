@@ -1,0 +1,10 @@
+"""Test harnesses shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness:
+seeded injection plans over the runtime's registered kernel/exchange
+injection points, powering the chaos suite (``pytest -m chaos``).
+"""
+
+from repro.testing.faults import FaultInjector, FaultRule, InjectedFault, fault_point
+
+__all__ = ["FaultInjector", "FaultRule", "InjectedFault", "fault_point"]

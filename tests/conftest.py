@@ -1,5 +1,8 @@
 """Shared fixtures: small deterministic graphs, statistics and backends."""
 
+import threading
+import time
+
 import pytest
 
 from repro.backend import GraphScopeLikeBackend, Neo4jLikeBackend
@@ -9,6 +12,38 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.schema import GraphSchema
 from repro.optimizer.cardinality import GlogueQuery
 from repro.optimizer.glogue import Glogue
+
+
+_RUNTIME_THREAD_PREFIXES = ("dataflow-", "repro-serve")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_runtime_threads():
+    """Fail any test that leaves execution-runtime threads behind.
+
+    Dataflow workers/drivers and executor pool threads are daemons, so a
+    leak never hangs the suite -- it silently burns cores and masks unwound
+    failure paths instead.  This fixture snapshots the live runtime threads
+    before each test and, afterwards, gives stragglers a short grace period
+    to finish unwinding (cancellation is cooperative) before failing with
+    their names.  Pool threads merely *idling* in an executor the test still
+    holds open would be false positives, so only threads *created during the
+    test* count, and tests are expected to shut their executors down.
+    """
+    def runtime_threads():
+        return {thread for thread in threading.enumerate()
+                if thread.name.startswith(_RUNTIME_THREAD_PREFIXES)}
+
+    before = runtime_threads()
+    yield
+    deadline = time.monotonic() + 5.0
+    leaked = runtime_threads() - before
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.02)
+        leaked = {thread for thread in runtime_threads() - before
+                  if thread.is_alive()}
+    assert not leaked, (
+        "test leaked runtime threads: %s" % sorted(t.name for t in leaked))
 
 
 @pytest.fixture(scope="session")
