@@ -1,0 +1,239 @@
+"""Closed-loop HTTP serving load benchmark -> BENCH_serving.json.
+
+Boots a :class:`~repro.server.GraphHTTPServer` on an ephemeral port and
+drives it with N *logical clients* in closed loop (each client waits for
+its response -- including any 429 backoff the server advises -- before
+sending its next request).  Logical clients are multiplexed over at most
+``--max-threads`` OS threads with persistent keep-alive connections, so
+thousands of simulated clients do not need thousands of sockets.
+
+The sweep walks concurrency levels, records throughput and latency
+percentiles per level, and reports the *scaling knee*: the first level
+whose throughput gain over the previous level drops below 10%.  A final
+scale run fires ``--scale-clients`` (default 1000) logical clients at the
+already-saturated server to measure behavior past the knee (throughput
+held, tail latency, how many requests were advised to back off).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_serving_bench.py             # full run
+    PYTHONPATH=src python benchmarks/run_serving_bench.py --mini      # CI smoke
+    PYTHONPATH=src python benchmarks/run_serving_bench.py --out FILE  # custom path
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.client import GraphClient  # noqa: E402
+from repro.datasets import social_commerce_graph  # noqa: E402
+from repro.server import GraphHTTPServer  # noqa: E402
+from repro.service import GraphService  # noqa: E402
+
+#: the closed-loop request mix: (weight, kind, query, parameter generator)
+TEMPLATES = (
+    (4, "point", "MATCH (p:Person) WHERE p.id = $x RETURN p.name AS name",
+     lambda i: {"x": i % 300}),
+    (2, "hop", "MATCH (p:Person)-[:Knows]->(f:Person) WHERE p.id = $x "
+     "RETURN f.name AS friend", lambda i: {"x": i % 300}),
+    (1, "agg", "MATCH (p:Person)-[:Purchases]->(pr:Product) "
+     "RETURN pr.name AS product, count(p) AS buyers", lambda i: None),
+)
+_MIX = [entry for entry in TEMPLATES for _ in range(entry[0])]
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def run_level(server, clients: int, requests_per_client: int,
+              max_threads: int) -> Dict[str, object]:
+    """One closed-loop level: ``clients`` logical clients, each issuing
+    ``requests_per_client`` requests back to back."""
+    threads = min(clients, max_threads)
+    latencies_by_thread: List[List[float]] = [[] for _ in range(threads)]
+    errors = [0] * threads
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(slot: int) -> None:
+        client = GraphClient(server.host, server.port,
+                             tenant="load-%d" % (slot % 8,))
+        my_clients = range(slot, clients, threads)
+        barrier.wait()
+        for logical in my_clients:
+            for seq in range(requests_per_client):
+                index = logical * requests_per_client + seq
+                _, _, query, params = _MIX[index % len(_MIX)]
+                started = time.perf_counter()
+                try:
+                    client.run(query, parameters=params(index),
+                               max_overload_retries=50)
+                except Exception:  # noqa: BLE001 - counted, not raised
+                    errors[slot] += 1
+                    continue
+                latencies_by_thread[slot].append(time.perf_counter() - started)
+        client.close()
+
+    pool = [threading.Thread(target=worker, args=(slot,), daemon=True,
+                             name="bench-load-%d" % slot)
+            for slot in range(threads)]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    latencies = sorted(lat for per_thread in latencies_by_thread
+                       for lat in per_thread)
+    completed = len(latencies)
+    return {
+        "clients": clients,
+        "threads": threads,
+        "requests": clients * requests_per_client,
+        "completed": completed,
+        "errors": sum(errors),
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_rps": round(completed / elapsed, 2) if elapsed else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p95": round(percentile(latencies, 0.95) * 1e3, 3),
+            "p99": round(percentile(latencies, 0.99) * 1e3, 3),
+            "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
+        },
+    }
+
+
+def find_knee(levels: List[Dict[str, object]], threshold: float = 0.10):
+    """The first level whose throughput gain over its predecessor is below
+    ``threshold`` -- the measured end of useful concurrency scaling."""
+    for previous, current in zip(levels, levels[1:]):
+        gain = (current["throughput_rps"] - previous["throughput_rps"]) \
+            / max(previous["throughput_rps"], 1e-9)
+        if gain < threshold:
+            return {"clients": current["clients"],
+                    "throughput_rps": current["throughput_rps"],
+                    "gain_over_previous": round(gain, 4)}
+    return None
+
+
+def scrape_counter(metrics_text: str, name: str) -> float:
+    total = 0.0
+    for line in metrics_text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            total += float(line.split()[-1])
+    return total
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mini", action="store_true",
+                        help="30-second CI smoke (small sweep, small scale run)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "BENCH_serving.json"))
+    parser.add_argument("--max-threads", type=int, default=96)
+    parser.add_argument("--scale-clients", type=int, default=1000)
+    args = parser.parse_args()
+
+    if args.mini:
+        sweep = (1, 4, 16)
+        requests_per_client = 6
+        scale_clients = min(args.scale_clients, 200)
+        scale_requests = 2
+    else:
+        sweep = (1, 2, 4, 8, 16, 32, 64, 96)
+        requests_per_client = 25
+        scale_clients = args.scale_clients
+        scale_requests = 3
+
+    graph = social_commerce_graph(num_persons=300, num_products=80,
+                                  num_places=15, seed=9)
+    service = GraphService(graph, backend="graphscope", num_partitions=4)
+    workers = os.cpu_count() or 8
+    server = GraphHTTPServer(service, max_concurrent=workers,
+                             max_queue_depth=512, per_tenant_limit=None)
+    print("serving %s on %s (admission: %d concurrent + 512 queued)"
+          % (service, server.url, workers))
+
+    with server:
+        # warm the plan cache once; the bench measures serving, not first-parse
+        warm = GraphClient(server.host, server.port, tenant="warmup")
+        for _, _, query, params in TEMPLATES:
+            warm.run(query, parameters=params(0))
+        warm.close()
+
+        levels = []
+        for clients in sweep:
+            level = run_level(server, clients, requests_per_client,
+                              args.max_threads)
+            levels.append(level)
+            print("  C=%-4d threads=%-3d rps=%-8.1f p50=%.2fms p95=%.2fms "
+                  "p99=%.2fms errors=%d"
+                  % (clients, level["threads"], level["throughput_rps"],
+                     level["latency_ms"]["p50"], level["latency_ms"]["p95"],
+                     level["latency_ms"]["p99"], level["errors"]))
+
+        scale = run_level(server, scale_clients, scale_requests,
+                          args.max_threads)
+        scale["simulated_clients"] = scale_clients
+        print("  scale run: %d simulated clients -> rps=%.1f p99=%.2fms"
+              % (scale_clients, scale["throughput_rps"],
+                 scale["latency_ms"]["p99"]))
+
+        scraper = GraphClient(server.host, server.port, tenant="scraper")
+        metrics_text = scraper.metrics_text()
+        scraper.close()
+
+    knee = find_knee(levels)
+    report = {
+        "benchmark": "http_serving_closed_loop",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "platform": platform.system().lower(),
+        },
+        "setup": {
+            "graph": {"vertices": graph.num_vertices, "edges": graph.num_edges},
+            "backend": "graphscope",
+            "admission": {"max_concurrent": workers, "max_queue_depth": 512},
+            "templates": [{"kind": kind, "weight": weight}
+                          for weight, kind, _, _ in TEMPLATES],
+            "requests_per_client": requests_per_client,
+            "mini": args.mini,
+        },
+        "levels": levels,
+        "knee": knee,
+        "scale_run": scale,
+        "server_totals": {
+            "queries_executed": scrape_counter(
+                metrics_text, "repro_queries_executed_total"),
+            "admission_rejected": scrape_counter(
+                metrics_text, "repro_admission_rejected_total"),
+            "plan_cache_hit_rate": scrape_counter(
+                metrics_text, "repro_plan_cache_hit_rate"),
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print("knee: %s" % (knee,))
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""HTTP serving load benchmark: closed-loop clients against a live server.
+
+The heavy sweep lives in ``run_serving_bench.py`` (its full run produced the
+checked-in ``BENCH_serving.json``).  Here: a schema/acceptance check on the
+checked-in report, and a slow-marked live mini-load asserting the serving
+stack holds up under concurrent closed-loop clients.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.client import GraphClient
+from repro.datasets import social_commerce_graph
+from repro.server import GraphHTTPServer
+from repro.service import GraphService
+
+from bench_utils import run_once
+from run_serving_bench import find_knee, run_level
+
+REPORT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serving.json")
+
+
+def test_checked_in_report_schema():
+    """BENCH_serving.json must carry a >=1000-simulated-client scale run."""
+    with open(REPORT_PATH) as handle:
+        report = json.load(handle)
+    assert report["benchmark"] == "http_serving_closed_loop"
+    assert report["levels"], "empty concurrency sweep"
+    for level in report["levels"]:
+        assert level["throughput_rps"] > 0
+        assert level["completed"] + level["errors"] == level["requests"]
+        assert level["latency_ms"]["p50"] <= level["latency_ms"]["p95"] \
+            <= level["latency_ms"]["p99"]
+    assert report["scale_run"]["simulated_clients"] >= 1000
+    assert report["scale_run"]["completed"] > 0
+    assert report["knee"] is None or report["knee"]["clients"] > 1
+    assert 0.0 <= report["server_totals"]["plan_cache_hit_rate"] <= 1.0
+
+
+@pytest.mark.slow
+def test_bench_serving_closed_loop(benchmark):
+    graph = social_commerce_graph(num_persons=150, num_products=40,
+                                  num_places=10, seed=9)
+    service = GraphService(graph, backend="graphscope", num_partitions=2)
+
+    def load():
+        with GraphHTTPServer(service, max_queue_depth=256) as server:
+            warm = GraphClient(server.host, server.port, tenant="warm")
+            warm.run("MATCH (p:Person) WHERE p.id = $x RETURN p.name AS name",
+                     parameters={"x": 1})
+            warm.close()
+            levels = [run_level(server, clients, requests_per_client=4,
+                                max_threads=16) for clients in (1, 8, 32)]
+        return levels
+
+    levels = run_once(benchmark, load)
+    for level in levels:
+        assert level["completed"] == level["requests"]
+        assert level["errors"] == 0
+        assert level["throughput_rps"] > 0
+    # more closed-loop clients must not serve fewer requests per second
+    assert levels[-1]["throughput_rps"] > levels[0]["throughput_rps"]
+    find_knee(levels)  # must not raise on a live sweep

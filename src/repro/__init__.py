@@ -37,6 +37,8 @@ over the service.)
 
 from repro.api import GOpt, OptimizedQuery
 from repro.backend.base import available_engines
+from repro.client import GraphClient
+from repro.server import GraphHTTPServer
 from repro.backend.runtime.context import CancellationToken
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import GraphSchema
@@ -65,6 +67,8 @@ __all__ = [
     "ConcurrentExecutor",
     "AdmissionController",
     "CancellationToken",
+    "GraphHTTPServer",
+    "GraphClient",
     "QueryRequest",
     "QueryOutcome",
     "PropertyGraph",

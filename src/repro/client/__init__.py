@@ -1,0 +1,5 @@
+"""Blocking pure-stdlib client of the HTTP serving front end."""
+
+from repro.client.client import GraphClient, RemoteCursor, RemotePrepared, RemoteSession
+
+__all__ = ["GraphClient", "RemoteSession", "RemotePrepared", "RemoteCursor"]

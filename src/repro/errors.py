@@ -67,6 +67,15 @@ class CancelledError(ExecutionError):
         self.reason = reason
 
 
+class NotFoundError(GOptError):
+    """A named serving resource (session, cursor, prepared statement) does
+    not exist -- it expired, was closed, or never existed.
+
+    The HTTP front end maps this to 404; in-process callers see it when a
+    TTL-evicted session or cursor id is reused.
+    """
+
+
 class ServiceOverloadedError(GOptError):
     """Fast rejection: the serving layer is saturated; retry later.
 

@@ -59,6 +59,28 @@ class PlanCacheInfo(NamedTuple):
         """
         return cls(hits=0, misses=0, size=0, capacity=0, evictions=0)
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for the ``/metrics`` endpoint and dashboards.
+
+        Includes the derived ``hit_rate`` and the ``enabled`` discriminator
+        (``capacity == 0`` means caching is disabled, not empty).
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "capacity": self.capacity,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "enabled": self.capacity > 0,
+        }
+
 
 def freeze_value(value) -> Tuple[str, object]:
     """A hashable ``(type_name, frozen_value)`` fingerprint of a parameter.

@@ -1,0 +1,67 @@
+"""HTTP serving front end over the admission-controlled service layer.
+
+The wire half of the serving story (`repro.service` is the in-process
+half): a pure-stdlib threaded HTTP server exposing the query protocol --
+
+========  ==============================  =======================================
+method    path                            purpose
+========  ==============================  =======================================
+POST      ``/v1/sessions``                open a per-tenant server-side session
+DELETE    ``/v1/sessions/{id}``           close it (and every cursor it owns)
+POST      ``/v1/prepare``                 prepare a ``$param`` template
+POST      ``/v1/queries``                 run a query (materialized or cursor)
+GET       ``/v1/cursors/{id}/fetch?n=``   incremental fetch from a cursor
+DELETE    ``/v1/cursors/{id}``            close a cursor early
+POST      ``/v1/explain``                 the optimizer's plan for a query
+GET       ``/healthz``                    liveness
+GET       ``/metrics``                    text exposition of serving metrics
+========  ==============================  =======================================
+
+Tenants (bearer tokens or the ``X-Tenant`` header) map onto admission
+clients, so :class:`~repro.service.AdmissionController` quotas bound each
+tenant's concurrent queries; overload answers 429 with a ``Retry-After``
+hint, and the typed error hierarchy maps onto status codes via
+:mod:`repro.server.protocol`.  Sessions and cursors are TTL-evicted
+(closing their in-process cursors) so disappearing clients cannot leak
+executions.  The matching blocking client is
+:class:`repro.client.GraphClient`.
+"""
+
+from repro.server.app import Response, ServerApp
+from repro.server.http import GraphHTTPServer, serve
+from repro.server.metrics import ServerCounters, render_metrics
+from repro.server.protocol import (
+    error_to_wire,
+    exception_from_wire,
+    status_for_exception,
+)
+from repro.server.registry import SessionRegistry
+from repro.server.wire import (
+    CursorChunkWire,
+    CursorWire,
+    ErrorWire,
+    ExplainPlanWire,
+    PreparedWire,
+    QueryResultWire,
+    SessionWire,
+)
+
+__all__ = [
+    "GraphHTTPServer",
+    "serve",
+    "ServerApp",
+    "Response",
+    "SessionRegistry",
+    "ServerCounters",
+    "render_metrics",
+    "status_for_exception",
+    "error_to_wire",
+    "exception_from_wire",
+    "QueryResultWire",
+    "ExplainPlanWire",
+    "SessionWire",
+    "PreparedWire",
+    "CursorWire",
+    "CursorChunkWire",
+    "ErrorWire",
+]

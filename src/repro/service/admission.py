@@ -62,6 +62,22 @@ class AdmissionStats:
     def queued(self) -> int:
         return self.in_flight - self.running
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready form for the ``/metrics`` endpoint and dashboards.
+
+        Includes the derived ``queued`` gauge so consumers never recompute
+        it from ``in_flight``/``running``.
+        """
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "completed": self.completed,
+            "in_flight": self.in_flight,
+            "running": self.running,
+            "queued": self.queued,
+        }
+
 
 class AdmissionController:
     """Thread-safe admission state shared by the serving layer.

@@ -97,6 +97,12 @@ class ResultCursor:
         if self._stream is not None:
             self._stream.close()
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (the serving layer's
+        lifecycle tests key on this)."""
+        return self._closed
+
     def consume(self) -> ExecutionMetrics:
         """Discard any remaining rows and return the execution's metrics.
 

@@ -243,13 +243,20 @@ class PreparedQuery:
         return self._session._execute_report(
             report, execute_parameters, stream, cancel_token)
 
-    def explain(self, parameters: Optional[Dict[str, object]] = None) -> str:
-        """The optimized plan this template executes with.
+    def report(
+        self, parameters: Optional[Dict[str, object]] = None,
+    ) -> OptimizationReport:
+        """The full optimizer report this template executes with.
 
         Deferred plans are fully symbolic, so no parameter values are needed
-        (they only refine the cache signature when given).
+        (they only refine the cache signature when given).  The serving
+        layer uses this to build explain wire models without re-optimizing.
         """
-        return self._report(parameters, require_values=False).explain()
+        return self._report(parameters, require_values=False)
+
+    def explain(self, parameters: Optional[Dict[str, object]] = None) -> str:
+        """The optimized plan this template executes with (text form)."""
+        return self.report(parameters).explain()
 
     def __repr__(self) -> str:
         mode = "deferred" if self.deferred else "inline"

@@ -39,6 +39,11 @@ Registered injection sites (see the runtime modules):
                             (info: ``op``)
 ``service.execute``         the concurrent executor about to run one query
                             (info: ``attempt``)
+``server.request``          the HTTP front end about to serve an admitted
+                            query/fetch/explain request, while holding its
+                            admission slot (info: ``tenant``, ``endpoint``);
+                            ``"sleep"`` here occupies the slot, which is how
+                            the e2e tests force quota breaches
 ==========================  ====================================================
 """
 

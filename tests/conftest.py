@@ -14,7 +14,7 @@ from repro.optimizer.cardinality import GlogueQuery
 from repro.optimizer.glogue import Glogue
 
 
-_RUNTIME_THREAD_PREFIXES = ("dataflow-", "repro-serve")
+_RUNTIME_THREAD_PREFIXES = ("dataflow-", "repro-serve", "repro-http")
 
 
 @pytest.fixture(autouse=True)

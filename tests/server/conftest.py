@@ -1,0 +1,34 @@
+"""Fixtures for the HTTP serving tests: a live server on an ephemeral port."""
+
+import pytest
+
+from repro.client import GraphClient
+from repro.datasets import social_commerce_graph
+from repro.server import GraphHTTPServer
+from repro.service import GraphService
+
+
+@pytest.fixture(scope="module")
+def serving_graph():
+    return social_commerce_graph(num_persons=80, num_products=30,
+                                 num_places=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def serving_service(serving_graph):
+    return GraphService(serving_graph, backend="graphscope", num_partitions=2)
+
+
+@pytest.fixture()
+def server(serving_service):
+    """A running server on an ephemeral port; stopped (and leak-checked)
+    after each test."""
+    with GraphHTTPServer(serving_service, port=0, max_queue_depth=64,
+                         sweep_interval_seconds=0.2) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with GraphClient(server.host, server.port, tenant="tester") as remote:
+        yield remote

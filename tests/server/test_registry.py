@@ -1,0 +1,127 @@
+"""Cursor/session lifecycle: TTL eviction must close in-process cursors,
+and a client disappearing mid-fetch must leak neither cursors nor threads."""
+
+import time
+
+import pytest
+
+from repro.client import GraphClient
+from repro.errors import NotFoundError
+from repro.server import GraphHTTPServer
+from repro.server.registry import SessionRegistry
+
+
+QUERY = "MATCH (p:Person) RETURN p.name AS n"
+
+
+def open_cursor(registry, service, tenant="t"):
+    session = service.session()
+    entry = registry.create_session(tenant, session)
+    cursor = session.run(QUERY)
+    held = registry.register_cursor(entry, QUERY, cursor)
+    return entry, held
+
+
+def test_cursor_ttl_eviction_closes_the_cursor(serving_service):
+    registry = SessionRegistry(session_ttl_seconds=60.0, cursor_ttl_seconds=0.05)
+    entry, held = open_cursor(registry, serving_service)
+    assert held.cursor.fetch_one() is not None
+    time.sleep(0.08)
+    sessions, cursors = registry.evict_expired()
+    assert (sessions, cursors) == (0, 1)
+    assert held.cursor.closed
+    assert registry.stats()["cursors_open"] == 0
+    assert registry.stats()["cursors_evicted_total"] == 1
+    with pytest.raises(NotFoundError):
+        registry.get_cursor(held.cursor_id)
+    # the owning session no longer lists it
+    assert entry.cursor_ids == []
+
+
+def test_session_expiry_closes_owned_cursors(serving_service):
+    registry = SessionRegistry(session_ttl_seconds=0.05, cursor_ttl_seconds=60.0)
+    entry, held = open_cursor(registry, serving_service)
+    time.sleep(0.08)
+    sessions, cursors = registry.evict_expired()
+    assert (sessions, cursors) == (1, 1)
+    assert held.cursor.closed
+    assert entry.session.closed
+    assert registry.stats() == {"sessions_open": 0, "cursors_open": 0,
+                                "sessions_expired_total": 1,
+                                "cursors_evicted_total": 1}
+
+
+def test_touch_keeps_entries_alive(serving_service):
+    registry = SessionRegistry(session_ttl_seconds=0.2, cursor_ttl_seconds=0.2)
+    entry, held = open_cursor(registry, serving_service)
+    for _ in range(3):
+        time.sleep(0.1)
+        registry.get_cursor(held.cursor_id)  # touches cursor AND owning session
+        registry.evict_expired()
+    assert registry.stats()["cursors_open"] == 1
+    assert registry.stats()["sessions_open"] == 1
+    registry.close_all()
+    assert held.cursor.closed
+
+
+def test_close_session_closes_cursors_and_is_tenant_scoped(serving_service):
+    registry = SessionRegistry()
+    entry, held = open_cursor(registry, serving_service, tenant="a")
+    with pytest.raises(NotFoundError):
+        registry.close_session(entry.session_id, tenant="b")
+    assert registry.close_session(entry.session_id, tenant="a") == 1
+    assert held.cursor.closed
+
+
+def test_close_all_refuses_new_registrations(serving_service):
+    registry = SessionRegistry()
+    entry, held = open_cursor(registry, serving_service)
+    registry.close_all()
+    assert held.cursor.closed and entry.session.closed
+    session = serving_service.session()
+    with pytest.raises(NotFoundError):
+        registry.create_session("t", session)
+    assert session.closed  # refused registration must not strand the session
+
+
+def test_client_disappearing_mid_fetch_leaks_nothing(serving_service):
+    """The regression the TTL sweeper exists for: a remote client opens a
+    cursor, pulls one chunk, and vanishes without closing anything.  The
+    sweeper must close the server-held cursor; the module-level thread-leak
+    fixture asserts no runtime threads survive the server either."""
+    with GraphHTTPServer(serving_service, cursor_ttl_seconds=0.2,
+                         session_ttl_seconds=0.2,
+                         sweep_interval_seconds=0.05) as server:
+        client = GraphClient(server.host, server.port, tenant="ghost")
+        session = client.session()
+        cursor = session.cursor(QUERY, fetch_size=5)
+        first = cursor.fetch_many(5)
+        assert len(first) == 5
+        # the in-process cursor the server holds for this client
+        held = list(server.app.registry._cursors.values())[0]
+        assert not held.cursor.closed
+        client.close()  # vanish: no cursor DELETE, no session DELETE
+
+        deadline = time.monotonic() + 5.0
+        while (server.app.registry.stats()["cursors_open"]
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        stats = server.app.registry.stats()
+        assert stats["cursors_open"] == 0
+        assert stats["sessions_open"] == 0
+        assert held.cursor.closed
+        assert stats["cursors_evicted_total"] >= 1
+
+
+def test_server_shutdown_closes_held_cursors(serving_service):
+    server = GraphHTTPServer(serving_service, cursor_ttl_seconds=60.0)
+    server.start()
+    client = GraphClient(server.host, server.port, tenant="t")
+    session = client.session()
+    cursor = session.cursor(QUERY, fetch_size=3)
+    assert len(cursor.fetch_many(3)) == 3
+    held = list(server.app.registry._cursors.values())[0]
+    client.close()
+    server.stop()
+    assert held.cursor.closed
+    assert server.app.registry.stats()["cursors_open"] == 0
